@@ -1,0 +1,183 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: how
+// much each stage of the synthesis flow contributes, and what the mapping
+// strategies cost — run with `go test -bench Ablation -benchtime 1x`.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ageguard/internal/liberty"
+	"ageguard/internal/logic"
+	"ageguard/internal/netlist"
+	"ageguard/internal/rtl"
+	"ageguard/internal/sta"
+	"ageguard/internal/synth"
+	"ageguard/internal/units"
+)
+
+var ablOnce sync.Once
+
+// BenchmarkAblation_FlowStages quantifies each optimization stage of the
+// synthesis flow on RISC-5P: raw mapping, design-rule fixing, sizing,
+// buffering, area recovery — under both the fresh and the worst-case aged
+// library, showing where the aging-awareness enters.
+func BenchmarkAblation_FlowStages(b *testing.B) {
+	ablOnce.Do(func() {
+		fresh, err := flow.FreshLibrary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		aged, err := flow.WorstLibrary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := rtl.GenRISC5()
+		fmt.Println("\n=== Ablation: flow stages (RISC-5P) ===")
+		fmt.Printf("%-22s %12s %12s\n", "stage", "freshLib CP", "agedLib CP")
+		stageCP := func(lib *liberty.Library) []float64 {
+			var cps []float64
+			cfg := synth.Config{Buffering: true}
+			nl, err := synth.Map(a, lib, "r5", cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl = synth.WrapSequential(nl)
+			add := func(n *netlist.Netlist) *netlist.Netlist {
+				res, err := sta.Analyze(n, lib, sta.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cps = append(cps, res.CP)
+				return n
+			}
+			nl = add(nl)
+			nl = add(synth.FixDesignRules(nl, lib))
+			nl, err = synth.SizeGates(nl, lib, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl = add(nl)
+			nl, err = synth.BufferCriticalNets(nl, lib, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl = add(nl)
+			nl, err = synth.RecoverArea(nl, lib, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			add(nl)
+			return cps
+		}
+		f := stageCP(fresh)
+		g := stageCP(aged)
+		names := []string{"mapped", "+design rules", "+sizing", "+buffering", "+area recovery"}
+		for i, n := range names {
+			fmt.Printf("%-22s %12s %12s\n", n, units.PsString(f[i]), units.PsString(g[i]))
+		}
+	})
+	nl := kernelNetlist.get(b, loadKernelNetlist)
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var ablSeedsOnce sync.Once
+
+// BenchmarkAblation_MapperSeeds compares the multi-start mapping
+// strategies (library-driven at several drive assumptions vs the
+// library-agnostic unit-delay modes) after full optimization.
+func BenchmarkAblation_MapperSeeds(b *testing.B) {
+	ablSeedsOnce.Do(func() {
+		fresh, err := flow.FreshLibrary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := rtl.GenVLIW()
+		type seed struct {
+			name string
+			cfg  synth.Config
+		}
+		seeds := []seed{
+			{"lib-driven d1", synth.Config{DPDrive: 1}},
+			{"lib-driven d2", synth.Config{DPDrive: 2}},
+			{"lib-driven d4", synth.Config{DPDrive: 4}},
+			{"unit-delay", synth.Config{UnitDelay: true}},
+			{"unit+area", synth.Config{UnitDelay: true, UnitMode: 1}},
+			{"unit+wide", synth.Config{UnitDelay: true, UnitMode: 2}},
+		}
+		fmt.Println("\n=== Ablation: mapping strategies (VLIW, fresh library) ===")
+		fmt.Printf("%-16s %12s %8s\n", "strategy", "CP", "insts")
+		for _, s := range seeds {
+			nl, err := synth.Map(a, fresh, "v", s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl = synth.WrapSequential(nl)
+			nl = synth.FixDesignRules(nl, fresh)
+			nl, err = synth.SizeGates(nl, fresh, s.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sta.Analyze(nl, fresh, sta.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("%-16s %12s %8d\n", s.name, units.PsString(res.CP), len(nl.Insts))
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = logic.New()
+	}
+}
+
+// BenchmarkAblation_MapDCT measures raw technology-mapping throughput on
+// the largest benchmark (DCT, ~45k AIG nodes).
+func BenchmarkAblation_MapDCT(b *testing.B) {
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	a := rtl.GenDCT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Map(a, lib, "dct", synth.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var ablTightOnce sync.Once
+
+// BenchmarkAblation_IterativeTightening compares the related-work
+// baseline [14] (aging analysis points at critical paths; a
+// degradation-unaware flow re-optimizes them) against this work's
+// degradation-aware synthesis on two circuits.
+func BenchmarkAblation_IterativeTightening(b *testing.B) {
+	ablTightOnce.Do(func() {
+		fmt.Println("\n=== Ablation: iterative tightening [14] vs degradation-aware synthesis ===")
+		fmt.Printf("%-10s %10s %12s %12s %8s %8s\n",
+			"circuit", "reqGB", "[14] GB", "aware GB", "[14]%", "aware%")
+		for _, c := range []string{"RISC-5P", "VLIW"} {
+			row, err := flow.IterativeTightening(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("%-10s %10s %12s %12s %+8.1f %+8.1f\n", c,
+				units.PsString(row.RequiredGB), units.PsString(row.TightenedGB),
+				units.PsString(row.ContainedGB), row.BaselinePct, row.AgingAwarePct)
+		}
+	})
+	nl := kernelNetlist.get(b, loadKernelNetlist)
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

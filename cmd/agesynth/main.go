@@ -1,0 +1,41 @@
+// Command agesynth compares traditional synthesis against aging-aware
+// synthesis with the degradation-aware library (the paper's Fig. 4c /
+// Fig. 6a-b): required vs contained guardband, frequency gain and area
+// overhead per circuit.
+//
+// Usage:
+//
+//	agesynth -circuit FFT
+//	agesynth -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ageguard/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("agesynth: ")
+	var (
+		circuit = flag.String("circuit", "FFT", "benchmark circuit name")
+		all     = flag.Bool("all", false, "run every benchmark circuit")
+		years   = flag.Float64("years", 10, "projected lifetime in years")
+	)
+	flag.Parse()
+
+	f := core.Default()
+	f.Lifetime = *years
+	circuits := []string{*circuit}
+	if *all {
+		circuits = core.BenchmarkCircuits()
+	}
+	rep, err := f.ContainmentAll(circuits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Format())
+}

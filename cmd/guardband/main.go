@@ -1,0 +1,79 @@
+// Command guardband estimates aging guardbands for the benchmark circuits
+// (the paper's Fig. 4b flow): synthesize traditionally, then time the
+// netlist under static worst-case/balanced stress or under the dynamic
+// stress extracted from a simulated workload.
+//
+// Usage:
+//
+//	guardband -circuit DSP                  # static worst-case, 10 years
+//	guardband -circuit FFT -scenario balance
+//	guardband -circuit DSP -scenario dynamic -steps 64
+//	guardband -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/core"
+	"ageguard/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("guardband: ")
+	var (
+		circuit  = flag.String("circuit", "DSP", "benchmark circuit name")
+		all      = flag.Bool("all", false, "run every benchmark circuit")
+		scenario = flag.String("scenario", "worst", "aging stress: worst, balance or dynamic")
+		years    = flag.Float64("years", 10, "projected lifetime in years")
+		steps    = flag.Int("steps", 32, "workload steps (x64 vectors) for dynamic stress")
+		seed     = flag.Int64("seed", 1, "workload seed for dynamic stress")
+	)
+	flag.Parse()
+
+	f := core.Default()
+	f.Lifetime = *years
+	circuits := []string{*circuit}
+	if *all {
+		circuits = core.BenchmarkCircuits()
+	}
+	fmt.Printf("%-10s %12s %12s %12s\n", "circuit", "freshCP", "agedCP", "guardband")
+	for _, c := range circuits {
+		gb, err := estimate(f, c, *scenario, *years, *steps, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", c, err)
+		}
+		fmt.Printf("%-10s %12s %12s %12s\n", c,
+			units.PsString(gb.FreshCP), units.PsString(gb.AgedCP), units.PsString(gb.Guardband))
+	}
+}
+
+func estimate(f core.Flow, circuit, scenario string, years float64, steps int, seed int64) (core.Guardband, error) {
+	nl, err := f.SynthesizeTraditional(circuit)
+	if err != nil {
+		return core.Guardband{}, err
+	}
+	switch scenario {
+	case "worst":
+		return f.StaticGuardband(circuit, nl, aging.WorstCase(years))
+	case "balance":
+		return f.StaticGuardband(circuit, nl, aging.BalanceCase(years))
+	case "dynamic":
+		rng := rand.New(rand.NewSource(seed))
+		stim := func(int) map[string]uint64 {
+			in := make(map[string]uint64, len(nl.Inputs))
+			for _, pi := range nl.Inputs {
+				in[pi] = rng.Uint64()
+			}
+			return in
+		}
+		gb, _, err := f.DynamicGuardband(circuit, nl, stim, steps)
+		return gb, err
+	default:
+		return core.Guardband{}, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}

@@ -1,0 +1,100 @@
+// Command libgen generates degradation-aware cell libraries (the paper's
+// Sec. 4.1 artifact): one .alib per duty-cycle scenario, optionally the
+// full 121-library grid, and the merged lambda-indexed complete library.
+//
+// Usage:
+//
+//	libgen -out libs -years 10            # fresh + worst-case + balance
+//	libgen -out libs -years 10 -grid      # all 121 lambda combinations
+//	libgen -out libs -years 10 -merged    # additionally write complete.alib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/char"
+	"ageguard/internal/liberty"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libgen: ")
+	var (
+		out    = flag.String("out", "libs", "output directory")
+		years  = flag.Float64("years", 10, "projected lifetime in years")
+		grid   = flag.Bool("grid", false, "generate the full 11x11 duty-cycle grid (121 libraries)")
+		merged = flag.Bool("merged", false, "also write the merged complete library")
+		libFmt = flag.Bool("liberty", false, "additionally emit genuine Liberty (.lib) syntax")
+		cache  = flag.String("cache", char.RepoCacheDir(), "characterization cache directory ('' disables)")
+	)
+	flag.Parse()
+
+	cfg := char.DefaultConfig()
+	cfg.CacheDir = *cache
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	scenarios := []aging.Scenario{
+		aging.Fresh(),
+		aging.WorstCase(*years),
+		aging.BalanceCase(*years),
+	}
+	if *grid {
+		scenarios = append([]aging.Scenario{aging.Fresh()}, aging.GridScenarios(*years)...)
+	}
+
+	var libs []*liberty.Library
+	for i, s := range scenarios {
+		cfg.Progress = func(done, total int) {
+			fmt.Printf("\r[%d/%d] %-24s cell %d/%d   ", i+1, len(scenarios), s, done, total)
+		}
+		lib, err := cfg.Characterize(s)
+		if err != nil {
+			log.Fatalf("scenario %s: %v", s, err)
+		}
+		libs = append(libs, lib)
+		path := filepath.Join(*out, lib.Name+".alib")
+		if err := writeLib(path, lib); err != nil {
+			log.Fatal(err)
+		}
+		if *libFmt {
+			if err := writeDotLib(filepath.Join(*out, lib.Name+".lib"), lib); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("\r[%d/%d] %-24s -> %s%20s\n", i+1, len(scenarios), s, path, "")
+	}
+
+	if *merged {
+		m := liberty.MergeLibraries("complete", libs)
+		path := filepath.Join(*out, "complete.alib")
+		if err := writeLib(path, &m.Library); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged %d libraries (%d cells) -> %s\n", len(libs), len(m.Cells), path)
+	}
+}
+
+func writeLib(path string, lib *liberty.Library) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return liberty.Write(f, lib)
+}
+
+func writeDotLib(path string, lib *liberty.Library) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return liberty.WriteLiberty(f, lib)
+}

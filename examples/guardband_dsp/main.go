@@ -1,0 +1,76 @@
+// Guardband estimation for the DSP benchmark (the paper's Fig. 4b flow).
+//
+// The example synthesizes the DSP circuit traditionally, then estimates
+// the timing guardband needed for ten years of operation three ways:
+//
+//  1. static worst-case stress (lambda = 1.0/1.0) — workload independent,
+//  2. static balanced stress (lambda = 0.5/0.5) — what duty-cycle
+//     balancing mitigation techniques achieve,
+//  3. dynamic stress: a workload is simulated at gate level, per-instance
+//     duty cycles are extracted, the netlist is annotated with lambda
+//     indexes (AND2_X1 -> AND2_X1_0.4_0.6, ...) and timed against the
+//     merged degradation-aware library.
+//
+// Run with: go run ./examples/guardband_dsp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/core"
+	"ageguard/internal/units"
+)
+
+func main() {
+	f := core.Default()
+	fmt.Println("synthesizing DSP with the initial (degradation-unaware) library...")
+	nl, err := f.SynthesizeTraditional("DSP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := core.Area(nl)
+	fmt.Printf("netlist: %d instances, %.0f um^2\n\n", len(nl.Insts), st)
+
+	worst, err := f.StaticGuardband("DSP", nl, aging.WorstCase(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	balance, err := f.StaticGuardband("DSP", nl, aging.BalanceCase(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dynamic stress: a biased workload (e.g. mostly-idle MAC with small
+	// coefficients) keeps many nodes at constant values, so the extracted
+	// duty cycles — and hence the guardband — sit between fresh and worst.
+	rng := rand.New(rand.NewSource(7))
+	stim := func(int) map[string]uint64 {
+		in := make(map[string]uint64, len(nl.Inputs))
+		for _, pi := range nl.Inputs {
+			in[pi] = rng.Uint64() & rng.Uint64() & rng.Uint64() // P(1) = 1/8
+		}
+		return in
+	}
+	dyn, _, err := f.DynamicGuardband("DSP", nl, stim, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %12s %12s %12s\n", "stress scenario", "freshCP", "agedCP", "guardband")
+	for _, g := range []struct {
+		name string
+		gb   core.Guardband
+	}{
+		{"static worst (1.0/1.0)", worst},
+		{"static balance (0.5/0.5)", balance},
+		{"dynamic (simulated workload)", dyn},
+	} {
+		fmt.Printf("%-28s %12s %12s %12s\n", g.name,
+			units.PsString(g.gb.FreshCP), units.PsString(g.gb.AgedCP), units.PsString(g.gb.Guardband))
+	}
+	fmt.Println("\nThe dynamic guardband is valid only for this workload; the static")
+	fmt.Println("worst-case guardband suppresses aging under any workload (Sec. 4.2).")
+}

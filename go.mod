@@ -1,0 +1,3 @@
+module ageguard
+
+go 1.24

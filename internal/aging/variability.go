@@ -1,0 +1,55 @@
+package aging
+
+import "math"
+
+// The deterministic model of this package predicts the *mean* BTI shift.
+// Real BTI is stochastic: in deeply scaled devices each trap contributes a
+// discrete threshold step eta = q/(Cox*W*L), so the shift follows a
+// compound Poisson distribution whose variance grows with the mean
+// (Kaczer/Kerber-style characterization, the paper's reference [16]).
+// The paper notes that a designer can take the distribution's upper
+// quantile (e.g. 6 sigma) as the guardband bound; this file provides
+// exactly that extension.
+
+// Variability describes the stochastic spread of a BTI threshold shift.
+type Variability struct {
+	MeanV  float64 // mean dVth [V]
+	SigmaV float64 // standard deviation [V]
+	EtaV   float64 // single-trap step height [V]
+	MeanN  float64 // mean number of active traps in the device
+}
+
+// DeviceVariability derives the dVth spread for a device of the given
+// gate area from a mean degradation: with N ~ Poisson(meanN) traps of
+// exponential step heights (mean eta), the variance of dVth is
+// 2*eta*mean(dVth).
+func DeviceVariability(d Degradation, cox, areaM2 float64) Variability {
+	const q = 1.602176634e-19
+	eta := q / (cox * areaM2)
+	meanN := 0.0
+	if eta > 0 {
+		meanN = d.DVth / eta
+	}
+	return Variability{
+		MeanV:  d.DVth,
+		SigmaV: math.Sqrt(2 * eta * d.DVth),
+		EtaV:   eta,
+		MeanN:  meanN,
+	}
+}
+
+// Quantile returns the dVth bound at mean + k*sigma; the paper suggests
+// using k = 6 as the worst-case corner for guardband estimation.
+func (v Variability) Quantile(k float64) float64 {
+	return v.MeanV + k*v.SigmaV
+}
+
+// SigmaCorner returns a copy of the degradation with its threshold shift
+// replaced by the k-sigma upper bound for a device of the given gate
+// area, so a variability-aware library can be characterized by simply
+// wrapping the model outputs.
+func SigmaCorner(d Degradation, cox, areaM2, k float64) Degradation {
+	v := DeviceVariability(d, cox, areaM2)
+	d.DVth = v.Quantile(k)
+	return d
+}

@@ -1,0 +1,70 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceVariability(t *testing.T) {
+	m := DefaultModel()
+	d := m.PMOS(WorstCase(10))
+	// A minimum-size 45nm device: W=400nm, L=45nm.
+	area := 400e-9 * 45e-9
+	v := DeviceVariability(d, m.Cox, area)
+	if v.MeanV != d.DVth {
+		t.Error("mean must equal the deterministic shift")
+	}
+	if v.SigmaV <= 0 {
+		t.Error("sigma must be positive for an aged device")
+	}
+	// Small devices: sigma is a significant fraction of the mean.
+	if v.SigmaV < 0.05*v.MeanV || v.SigmaV > v.MeanV {
+		t.Errorf("sigma/mean = %v implausible for a minimum device", v.SigmaV/v.MeanV)
+	}
+	// Larger devices average over more traps: smaller relative spread.
+	v4 := DeviceVariability(d, m.Cox, 4*area)
+	if v4.SigmaV >= v.SigmaV {
+		t.Error("larger area must shrink sigma")
+	}
+	if v4.MeanN <= v.MeanN {
+		t.Error("larger area must hold more traps")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	m := DefaultModel()
+	d := m.PMOS(WorstCase(10))
+	v := DeviceVariability(d, m.Cox, 400e-9*45e-9)
+	f := func(k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			return true
+		}
+		k = math.Abs(math.Mod(k, 10))
+		return v.Quantile(k+1) > v.Quantile(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// The paper's 6-sigma corner exceeds the mean substantially.
+	if v.Quantile(6) < 1.2*v.MeanV {
+		t.Errorf("6-sigma corner %v barely above mean %v", v.Quantile(6), v.MeanV)
+	}
+}
+
+func TestSigmaCorner(t *testing.T) {
+	m := DefaultModel()
+	d := m.PMOS(WorstCase(10))
+	c := SigmaCorner(d, m.Cox, 400e-9*45e-9, 6)
+	if c.DVth <= d.DVth {
+		t.Error("sigma corner must exceed the mean shift")
+	}
+	if c.MuFactor != d.MuFactor {
+		t.Error("mobility unchanged by the Vth quantile")
+	}
+	// Fresh device: no spread.
+	fresh := m.PMOS(Fresh())
+	if got := SigmaCorner(fresh, m.Cox, 1e-14, 6); got.DVth != 0 {
+		t.Errorf("fresh sigma corner = %v, want 0", got.DVth)
+	}
+}

@@ -1,0 +1,109 @@
+package cells
+
+import (
+	"testing"
+
+	"ageguard/internal/device"
+	"ageguard/internal/spice"
+	"ageguard/internal/units"
+)
+
+// TestTopologyImplementsFunction validates every combinational cell's
+// transistor netlist against its declared Boolean function by DC-settling
+// the circuit for every input combination and checking the output rail.
+// This is the ground truth linking the SPICE level to the logic level.
+func TestTopologyImplementsFunction(t *testing.T) {
+	tech := device.Default45()
+	vdd := tech.Vdd
+	for _, c := range All() {
+		if c.Seq || c.Drive != 1 {
+			continue // one drive per base suffices: same topology scaled
+		}
+		n := c.NumInputs()
+		for bits := uint(0); bits < 1<<n; bits++ {
+			ckt := spice.New(vdd)
+			nodes := map[string]spice.NodeID{
+				NodeGND: ckt.Gnd(),
+				NodeVDD: ckt.Vdd(),
+			}
+			get := func(name string) spice.NodeID {
+				if id, ok := nodes[name]; ok {
+					return id
+				}
+				id := ckt.Node(name)
+				nodes[name] = id
+				return id
+			}
+			for _, spec := range c.Topo.Devices {
+				p := c.DeviceParams(tech, spec)
+				ckt.MOS(p, get(spec.D), get(spec.G), get(spec.S))
+			}
+			for i, pin := range c.Inputs {
+				v := 0.0
+				if bits>>i&1 == 1 {
+					v = vdd
+				}
+				ckt.Drive(get(pin), spice.DC(v))
+			}
+			out := get(c.Output)
+			ckt.C(out, ckt.Gnd(), 1*units.FF)
+			res, err := ckt.Run(2*units.Ns, spice.Options{})
+			if err != nil {
+				t.Fatalf("%s bits=%b: %v", c.Name, bits, err)
+			}
+			got := res.Final(out) > vdd/2
+			if want := c.Eval(bits); got != want {
+				t.Errorf("%s(%0*b) = %v (%.3fV), want %v",
+					c.Name, n, bits, got, res.Final(out), want)
+			}
+		}
+	}
+}
+
+// TestDFFCapturesOnRisingEdge clocks the flip-flop topology through a
+// full transient sequence and checks edge-triggered capture behaviour.
+func TestDFFCapturesOnRisingEdge(t *testing.T) {
+	tech := device.Default45()
+	vdd := tech.Vdd
+	c := MustByName("DFF_X1")
+	ckt := spice.New(vdd)
+	nodes := map[string]spice.NodeID{NodeGND: ckt.Gnd(), NodeVDD: ckt.Vdd()}
+	get := func(name string) spice.NodeID {
+		if id, ok := nodes[name]; ok {
+			return id
+		}
+		id := ckt.Node(name)
+		nodes[name] = id
+		return id
+	}
+	for _, spec := range c.Topo.Devices {
+		ckt.MOS(c.DeviceParams(tech, spec), get(spec.D), get(spec.G), get(spec.S))
+	}
+	// D rises well before the second clock edge and falls before the third.
+	period := 2 * units.Ns
+	ckt.Drive(get("D"), spice.PWL{
+		T: []float64{0, 0.5 * period, 0.5*period + 50*units.Ps, 2.4 * period, 2.4*period + 50*units.Ps},
+		V: []float64{0, 0, vdd, vdd, 0},
+	})
+	ckt.Drive(get("CK"), spice.Pulse{
+		V0: 0, V1: vdd, Delay: period, Width: period / 2, Period: period, Slew: 30 * units.Ps,
+	})
+	out := get("Q")
+	ckt.C(out, ckt.Gnd(), 2*units.FF)
+	res, err := ckt.Run(4*period, spice.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After edge 1 (t=period): D=1 captured -> Q=1.
+	if v := res.At(out, 1.4*period); v < 0.9*vdd {
+		t.Errorf("Q after first edge = %.3fV, want high", v)
+	}
+	// Between edges, D falls at 2.4*period; Q must hold until edge at 3*period.
+	if v := res.At(out, 2.9*period); v < 0.9*vdd {
+		t.Errorf("Q should hold high before next edge, got %.3fV", v)
+	}
+	// After edge at t=3*period with D=0: Q -> 0.
+	if v := res.At(out, 3.5*period); v > 0.1*vdd {
+		t.Errorf("Q after capture of 0 = %.3fV, want low", v)
+	}
+}

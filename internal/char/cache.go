@@ -1,0 +1,26 @@
+package char
+
+import (
+	"path/filepath"
+	"runtime"
+)
+
+// RepoCacheDir returns the repository-local library cache directory
+// (<repo>/.libcache), resolved relative to this source file. Experiments,
+// benchmarks and tests share it so each aging scenario is characterized at
+// most once per checkout; it is safe to delete at any time.
+func RepoCacheDir() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return ".libcache"
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", ".libcache")
+}
+
+// CachedConfig is DefaultConfig with the repository cache enabled — the
+// configuration the experiment drivers use.
+func CachedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CacheDir = RepoCacheDir()
+	return cfg
+}

@@ -1,0 +1,326 @@
+// Package char implements degradation-aware cell-library characterization —
+// the paper's Fig. 4(a): for a given aging scenario it degrades the
+// transistor models (package aging), instantiates each standard cell's
+// transistor netlist (package cells), sweeps the operating-condition grid
+// (input slew x output load) with transient simulations (package spice),
+// and emits an NLDM timing library (package liberty).
+//
+// The paper's configuration is reproduced by DefaultConfig: 7 input slews
+// in [5 ps, 947 ps] and 7 output loads in [0.5 fF, 20 fF] — 49 OPCs per
+// timing arc — and a duty-cycle grid of 11x11 scenarios yielding 121
+// libraries (see GenerateGrid).
+//
+// Characterization is deterministic, so libraries are cached on disk in
+// the serialized .alib format and reused across processes.
+package char
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/cells"
+	"ageguard/internal/device"
+	"ageguard/internal/liberty"
+	"ageguard/internal/units"
+)
+
+// Config controls characterization.
+type Config struct {
+	Tech  device.Tech
+	Model aging.Model
+
+	Slews []float64 // input-slew axis [s]
+	Loads []float64 // output-load axis [F]
+
+	// VthOnly disables the mobility degradation during device aging,
+	// modelling the state-of-the-art flows the paper compares against in
+	// Fig. 5(a) ([9,11,12,13]: Vth-only analysis).
+	VthOnly bool
+
+	// CacheDir, when non-empty, enables the on-disk library cache.
+	CacheDir string
+
+	// Cells restricts characterization to the named cells (nil = all 68).
+	Cells []string
+
+	// Progress, when non-nil, receives (done, total) cell counts.
+	Progress func(done, total int)
+}
+
+// DefaultConfig returns the paper's characterization setup: the full cell
+// set over the 7x7 OPC grid (Smin=5ps, Smax=947ps, Cmin=0.5fF, Cmax=20fF).
+func DefaultConfig() Config {
+	return Config{
+		Tech:  device.Default45(),
+		Model: aging.DefaultModel(),
+		Slews: LogAxis(5*units.Ps, 947*units.Ps, 7),
+		Loads: LogAxis(0.5*units.FF, 20*units.FF, 7),
+	}
+}
+
+// TestConfig returns a reduced 3x3-grid configuration for fast tests.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Slews = LogAxis(5*units.Ps, 947*units.Ps, 3)
+	cfg.Loads = LogAxis(0.5*units.FF, 20*units.FF, 3)
+	return cfg
+}
+
+// LogAxis returns n log-spaced points from lo to hi inclusive.
+func LogAxis(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	r := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= r
+	}
+	out[n-1] = hi
+	return out
+}
+
+// DFF timing constraints are modelled as constants: the guardband and
+// synthesis experiments compare path-delay differences, which the paper's
+// evaluation also does, so scenario-dependent setup shifts are second
+// order. See DESIGN.md.
+const (
+	dffSetup = 30 * units.Ps
+	dffHold  = 3 * units.Ps
+)
+
+// Characterize builds the timing library for one aging scenario, using the
+// on-disk cache when configured.
+func (cfg Config) Characterize(s aging.Scenario) (*liberty.Library, error) {
+	if lib, ok := cfg.loadCache(s); ok {
+		return lib, nil
+	}
+	lib, err := cfg.characterize(s)
+	if err != nil {
+		return nil, err
+	}
+	cfg.storeCache(s, lib)
+	return lib, nil
+}
+
+func (cfg Config) cellSet() []*cells.Cell {
+	if cfg.Cells == nil {
+		return cells.All()
+	}
+	out := make([]*cells.Cell, 0, len(cfg.Cells))
+	for _, n := range cfg.Cells {
+		out = append(out, cells.MustByName(n))
+	}
+	return out
+}
+
+func (cfg Config) libName(s aging.Scenario) string {
+	suffix := ""
+	if cfg.VthOnly {
+		suffix = "_vthonly"
+	}
+	return fmt.Sprintf("aged_y%.1f_%s%s", s.Years, s.Key(), suffix)
+}
+
+func (cfg Config) cachePath(s aging.Scenario) string {
+	n := len(cfg.Cells)
+	if cfg.Cells == nil {
+		n = 0 // full set marker
+	}
+	fn := fmt.Sprintf("%s_g%dx%d_c%d_v%g.alib",
+		cfg.libName(s), len(cfg.Slews), len(cfg.Loads), n, cfg.Tech.Vdd)
+	return filepath.Join(cfg.CacheDir, fn)
+}
+
+func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, bool) {
+	if cfg.CacheDir == "" {
+		return nil, false
+	}
+	f, err := os.Open(cfg.cachePath(s))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	lib, err := liberty.Read(f)
+	if err != nil {
+		return nil, false
+	}
+	// When restricted to named cells, verify the cached set covers them.
+	for _, c := range cfg.cellSet() {
+		if _, ok := lib.Cell(c.Name); !ok {
+			return nil, false
+		}
+	}
+	return lib, true
+}
+
+func (cfg Config) storeCache(s aging.Scenario, lib *liberty.Library) {
+	if cfg.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+		return
+	}
+	path := cfg.cachePath(s)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := liberty.Write(f, lib); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	f.Close()
+	os.Rename(tmp, path)
+}
+
+// characterize performs the actual simulation sweep.
+func (cfg Config) characterize(s aging.Scenario) (*liberty.Library, error) {
+	lib := &liberty.Library{
+		Name:     cfg.libName(s),
+		Scenario: s,
+		Vdd:      cfg.Tech.Vdd,
+		Slews:    append([]float64(nil), cfg.Slews...),
+		Loads:    append([]float64(nil), cfg.Loads...),
+		Cells:    map[string]*liberty.CellTiming{},
+	}
+	set := cfg.cellSet()
+	for i, c := range set {
+		ct, err := cfg.characterizeCell(c, s)
+		if err != nil {
+			return nil, fmt.Errorf("char: cell %s under %s: %w", c.Name, s, err)
+		}
+		lib.Cells[c.Name] = ct
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(set))
+		}
+	}
+	return lib, nil
+}
+
+// degradations resolves the per-polarity device degradation for a scenario,
+// honouring the VthOnly comparison mode.
+func (cfg Config) degradations(s aging.Scenario) (p, n aging.Degradation) {
+	p = cfg.Model.PMOS(s)
+	n = cfg.Model.NMOS(s)
+	if cfg.VthOnly {
+		p = p.VthOnly()
+		n = n.VthOnly()
+	}
+	return p, n
+}
+
+func (cfg Config) characterizeCell(c *cells.Cell, s aging.Scenario) (*liberty.CellTiming, error) {
+	ct := &liberty.CellTiming{
+		Name:    c.Name,
+		Base:    c.Base,
+		Drive:   c.Drive,
+		AreaUm2: c.AreaUm2,
+		Inputs:  append([]string(nil), c.Inputs...),
+		Output:  c.Output,
+		PinCap:  map[string]float64{},
+	}
+	for _, p := range c.Inputs {
+		ct.PinCap[p] = c.PinCap(cfg.Tech, p)
+	}
+	if c.Seq {
+		ct.Seq, ct.Clock, ct.Data = true, c.Clock, c.Data
+		ct.SetupPS, ct.HoldPS = dffSetup, dffHold
+		arc, err := cfg.clockArc(c, s)
+		if err != nil {
+			return nil, err
+		}
+		ct.Arcs = []liberty.Arc{*arc}
+		return ct, nil
+	}
+	for _, spec := range DiscoverArcs(c) {
+		arc, err := cfg.combArc(c, s, spec)
+		if err != nil {
+			return nil, fmt.Errorf("arc %s/%s: %w", spec.Pin, spec.Sense, err)
+		}
+		ct.Arcs = append(ct.Arcs, *arc)
+	}
+	if len(ct.Arcs) == 0 {
+		return nil, fmt.Errorf("no sensitizable arcs")
+	}
+	return ct, nil
+}
+
+// ArcSpec names one combinational timing arc to characterize.
+type ArcSpec struct {
+	Pin   string
+	Sense liberty.Sense
+	When  uint // side-input assignment (bit per input, pin's own bit ignored)
+}
+
+// DiscoverArcs finds, for every input pin of a combinational cell and every
+// polarity sense, the first side-input assignment under which toggling the
+// pin toggles the output. Most cells are unate (one arc per pin); XOR/XNOR
+// and the MUX select pin yield two arcs.
+func DiscoverArcs(c *cells.Cell) []ArcSpec {
+	var out []ArcSpec
+	n := c.NumInputs()
+	for pi, pin := range c.Inputs {
+		foundPos, foundNeg := false, false
+		for side := uint(0); side < 1<<n; side++ {
+			if side>>pi&1 == 1 {
+				continue // canonical: pin's own bit zero in When
+			}
+			lo := c.Eval(side)
+			hi := c.Eval(side | 1<<pi)
+			if lo == hi {
+				continue
+			}
+			if hi && !foundPos {
+				out = append(out, ArcSpec{Pin: pin, Sense: liberty.PositiveUnate, When: side})
+				foundPos = true
+			}
+			if !hi && !foundNeg {
+				out = append(out, ArcSpec{Pin: pin, Sense: liberty.NegativeUnate, When: side})
+				foundNeg = true
+			}
+			if foundPos && foundNeg {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GenerateGrid characterizes the paper's full 11x11 duty-cycle grid (121
+// libraries) for the given lifetime, invoking visit after each library.
+// Libraries are cached on disk when CacheDir is set.
+func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) error {
+	for _, s := range aging.GridScenarios(years) {
+		lib, err := cfg.Characterize(s)
+		if err != nil {
+			return err
+		}
+		if visit != nil {
+			visit(lib)
+		}
+	}
+	return nil
+}
+
+// CompleteLibrary builds the merged, lambda-indexed "complete
+// degradation-aware cell library" over the scenarios given (e.g. all 121
+// grid points, or just those a netlist annotation needs).
+func (cfg Config) CompleteLibrary(name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
+	libs := make([]*liberty.Library, 0, len(scenarios))
+	for _, s := range scenarios {
+		l, err := cfg.Characterize(s)
+		if err != nil {
+			return nil, err
+		}
+		libs = append(libs, l)
+	}
+	return liberty.MergeLibraries(name, libs), nil
+}

@@ -1,0 +1,188 @@
+package char
+
+import (
+	"fmt"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/cells"
+	"ageguard/internal/device"
+	"ageguard/internal/liberty"
+	"ageguard/internal/spice"
+	"ageguard/internal/units"
+)
+
+// build instantiates the cell's transistor topology as a spice circuit with
+// devices degraded per the scenario. It returns the circuit and the node
+// map (topology name -> node).
+func (cfg Config) build(c *cells.Cell, s aging.Scenario) (*spice.Circuit, map[string]spice.NodeID) {
+	degP, degN := cfg.degradations(s)
+	ckt := spice.New(cfg.Tech.Vdd)
+	nodes := map[string]spice.NodeID{
+		cells.NodeGND: ckt.Gnd(),
+		cells.NodeVDD: ckt.Vdd(),
+	}
+	get := func(name string) spice.NodeID {
+		if n, ok := nodes[name]; ok {
+			return n
+		}
+		n := ckt.Node(name)
+		nodes[name] = n
+		return n
+	}
+	for _, spec := range c.Topo.Devices {
+		p := c.DeviceParams(cfg.Tech, spec)
+		if spec.Type == device.PMOS {
+			p = p.Degrade(degP.DVth, degP.MuFactor)
+		} else {
+			p = p.Degrade(degN.DVth, degN.MuFactor)
+		}
+		ckt.MOS(p, get(spec.D), get(spec.G), get(spec.S))
+	}
+	return ckt, nodes
+}
+
+// measurement is the outcome of one transient characterization point.
+type measurement struct {
+	delay, slew float64
+}
+
+// combArc characterizes one combinational arc over the full OPC grid.
+func (cfg Config) combArc(c *cells.Cell, s aging.Scenario, spec ArcSpec) (*liberty.Arc, error) {
+	arc := &liberty.Arc{Pin: spec.Pin, Sense: spec.Sense, When: spec.When}
+	pi := c.PinIndex(spec.Pin)
+	for _, outEdge := range []liberty.Edge{liberty.Rise, liberty.Fall} {
+		inEdge := spec.Sense.InputEdge(outEdge)
+		delayT := liberty.NewTable(cfg.Slews, cfg.Loads)
+		slewT := liberty.NewTable(cfg.Slews, cfg.Loads)
+		for i, slew := range cfg.Slews {
+			for j, load := range cfg.Loads {
+				m, err := cfg.simComb(c, s, spec, pi, inEdge, outEdge, slew, load)
+				if err != nil {
+					return nil, fmt.Errorf("%s slew=%s load=%s: %w",
+						outEdge, units.PsString(slew), units.FFString(load), err)
+				}
+				delayT.Values[i][j] = m.delay
+				slewT.Values[i][j] = m.slew
+			}
+		}
+		arc.Delay[outEdge] = delayT
+		arc.OutSlew[outEdge] = slewT
+	}
+	return arc, nil
+}
+
+func (cfg Config) simComb(c *cells.Cell, s aging.Scenario, spec ArcSpec,
+	pi int, inEdge, outEdge liberty.Edge, slew, load float64) (measurement, error) {
+
+	vdd := cfg.Tech.Vdd
+	ckt, nodes := cfg.build(c, s)
+
+	// Side inputs at their sensitizing DC values.
+	for k, pin := range c.Inputs {
+		if k == pi {
+			continue
+		}
+		v := 0.0
+		if spec.When>>k&1 == 1 {
+			v = vdd
+		}
+		ckt.Drive(nodes[pin], spice.DC(v))
+	}
+	t0 := 100 * units.Ps
+	v0, v1 := 0.0, vdd
+	if inEdge == liberty.Fall {
+		v0, v1 = vdd, 0
+	}
+	ckt.Drive(nodes[spec.Pin], spice.Ramp{T0: t0, Slew: slew, V0: v0, V1: v1})
+	out := nodes[c.Output]
+	ckt.C(out, ckt.Gnd(), load)
+
+	tstop := t0 + slew + 3*units.Ns
+	res, err := ckt.Run(tstop, spice.Options{MaxStep: 25 * units.Ps})
+	if err != nil {
+		return measurement{}, err
+	}
+	tIn := t0 + slew/2 // linear ramp crosses 50% at its midpoint
+	tOut, ok := res.Cross(out, vdd/2, outEdge == liberty.Rise, t0)
+	if !ok {
+		return measurement{}, fmt.Errorf("output did not cross 50%%")
+	}
+	oslew, ok := res.Slew(out, vdd, outEdge == liberty.Rise, t0)
+	if !ok {
+		return measurement{}, fmt.Errorf("output slew unmeasurable")
+	}
+	return measurement{delay: tOut - tIn, slew: oslew}, nil
+}
+
+// clockArc characterizes the CK->Q arc of a flip-flop: Q rise with D=1 and
+// Q fall with D=0, over clock slew x output load. The slave latch is
+// initialized to the opposite state so the clock edge produces a Q toggle.
+func (cfg Config) clockArc(c *cells.Cell, s aging.Scenario) (*liberty.Arc, error) {
+	arc := &liberty.Arc{Pin: c.Clock, Sense: liberty.PositiveUnate}
+	for _, outEdge := range []liberty.Edge{liberty.Rise, liberty.Fall} {
+		delayT := liberty.NewTable(cfg.Slews, cfg.Loads)
+		slewT := liberty.NewTable(cfg.Slews, cfg.Loads)
+		for i, slew := range cfg.Slews {
+			for j, load := range cfg.Loads {
+				m, err := cfg.simClock(c, s, outEdge, slew, load)
+				if err != nil {
+					return nil, fmt.Errorf("CK->Q %s slew=%s load=%s: %w",
+						outEdge, units.PsString(slew), units.FFString(load), err)
+				}
+				delayT.Values[i][j] = m.delay
+				slewT.Values[i][j] = m.slew
+			}
+		}
+		arc.Delay[outEdge] = delayT
+		arc.OutSlew[outEdge] = slewT
+	}
+	return arc, nil
+}
+
+func (cfg Config) simClock(c *cells.Cell, s aging.Scenario,
+	outEdge liberty.Edge, slew, load float64) (measurement, error) {
+
+	vdd := cfg.Tech.Vdd
+	ckt, nodes := cfg.build(c, s)
+	dVal := vdd // Q will rise
+	if outEdge == liberty.Fall {
+		dVal = 0
+	}
+	ckt.Drive(nodes[c.Data], spice.DC(dVal))
+	t0 := 150 * units.Ps
+	ckt.Drive(nodes[c.Clock], spice.Ramp{T0: t0, Slew: slew, V0: 0, V1: vdd})
+	out := nodes[c.Output]
+	ckt.C(out, ckt.Gnd(), load)
+
+	// Initialize the slave latch to hold !D so the edge toggles Q.
+	// Node names follow the DFF topology in cells: n4 = !Q internal.
+	hold := vdd - dVal // previous Q value
+	init := map[string]float64{
+		"n4": vdd - hold, // n4 = !Qprev
+		"n5": hold,
+		"n6": vdd - hold,
+		"Q":  hold,
+	}
+	opts := spice.Options{
+		MaxStep: 25 * units.Ps,
+		InitV: func(name string) (float64, bool) {
+			v, ok := init[name]
+			return v, ok
+		},
+	}
+	tstop := t0 + slew + 3*units.Ns
+	res, err := ckt.Run(tstop, opts)
+	if err != nil {
+		return measurement{}, err
+	}
+	tCk := t0 + slew/2
+	tOut, ok := res.Cross(out, vdd/2, outEdge == liberty.Rise, tCk)
+	if !ok {
+		return measurement{}, fmt.Errorf("Q did not toggle")
+	}
+	oslew, ok := res.Slew(out, vdd, outEdge == liberty.Rise, tCk)
+	if !ok {
+		return measurement{}, fmt.Errorf("Q slew unmeasurable")
+	}
+	return measurement{delay: tOut - tCk, slew: oslew}, nil
+}

@@ -1,0 +1,250 @@
+// Package core implements the paper's reliability-aware design flow
+// (Fig. 4) end to end, and the experiment drivers that regenerate every
+// figure of the evaluation:
+//
+//   - degradation-aware cell-library creation (Fig. 4a, package char),
+//   - guardband estimation under static and dynamic (workload-driven)
+//     aging stress (Fig. 4b, Sec. 4.2),
+//   - guardband containment by synthesizing with the worst-case aged
+//     library (Fig. 4c, Sec. 4.3),
+//   - the motivational analyses (Figs. 1-3) and the evaluation
+//     comparisons (Figs. 5-7) including the DCT-IDCT image study.
+//
+// All expensive artifacts (characterized libraries, synthesized netlists)
+// are cached on disk, so experiments are cheap to re-run.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/char"
+	"ageguard/internal/gatesim"
+	"ageguard/internal/liberty"
+	"ageguard/internal/logic"
+	"ageguard/internal/netlist"
+	"ageguard/internal/rtl"
+	"ageguard/internal/sta"
+	"ageguard/internal/synth"
+)
+
+// Flow bundles the tool configuration of the reliability-aware design
+// flow. Construct with Default and override fields as needed.
+type Flow struct {
+	Char     char.Config
+	STA      sta.Config
+	Synth    synth.Config
+	Lifetime float64 // projected lifetime in years (paper: 10)
+}
+
+// Default returns the paper's configuration: 45 nm devices, calibrated BTI
+// model, 7x7 OPC grid, 10-year lifetime, caches under the repository.
+func Default() Flow {
+	return Flow{
+		Char:     char.CachedConfig(),
+		Synth:    synth.Config{Buffering: true},
+		Lifetime: 10,
+	}
+}
+
+// Library characterizes (or loads) the degradation-aware library for a
+// scenario.
+func (f Flow) Library(s aging.Scenario) (*liberty.Library, error) {
+	return f.Char.Characterize(s)
+}
+
+// FreshLibrary returns the unaged (initial) library.
+func (f Flow) FreshLibrary() (*liberty.Library, error) {
+	return f.Library(aging.Fresh())
+}
+
+// WorstLibrary returns the worst-case static-stress library
+// (lambda = 1.0/1.0) at the flow lifetime.
+func (f Flow) WorstLibrary() (*liberty.Library, error) {
+	return f.Library(aging.WorstCase(f.Lifetime))
+}
+
+// VthOnlyLibrary returns the worst-case library characterized with the
+// mobility degradation disabled — the paper's model of state-of-the-art
+// Vth-only analyses (Fig. 5a).
+func (f Flow) VthOnlyLibrary() (*liberty.Library, error) {
+	cfg := f.Char
+	cfg.VthOnly = true
+	return cfg.Characterize(aging.WorstCase(f.Lifetime))
+}
+
+// CompleteLibrary merges the libraries of the given scenarios into the
+// lambda-indexed complete library (paper Sec. 4.1).
+func (f Flow) CompleteLibrary(scens []aging.Scenario) (*liberty.Merged, error) {
+	return f.Char.CompleteLibrary("complete", scens)
+}
+
+// Benchmark returns the named evaluation circuit as a logic network.
+func Benchmark(name string) (*logic.AIG, error) {
+	gen, ok := rtl.Benchmarks()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	return gen(), nil
+}
+
+// Synthesized synthesizes the named benchmark with the given library,
+// using a disk cache keyed by (circuit, library) since the flow is
+// deterministic.
+func (f Flow) Synthesized(circuit string, lib *liberty.Library) (*netlist.Netlist, error) {
+	path := f.netlistCachePath(circuit, lib)
+	if path != "" {
+		if fh, err := os.Open(path); err == nil {
+			nl, err := netlist.Read(fh)
+			fh.Close()
+			if err == nil {
+				return nl, nil
+			}
+		}
+	}
+	a, err := Benchmark(circuit)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := synth.Synthesize(a, lib, circuit, f.Synth)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err == nil {
+			if fh, err := os.Create(path + ".tmp"); err == nil {
+				if netlist.Write(fh, nl) == nil {
+					fh.Close()
+					os.Rename(path+".tmp", path)
+				} else {
+					fh.Close()
+					os.Remove(path + ".tmp")
+				}
+			}
+		}
+	}
+	return nl, nil
+}
+
+func (f Flow) netlistCachePath(circuit string, lib *liberty.Library) string {
+	if f.Char.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(f.Char.CacheDir,
+		fmt.Sprintf("netl_%s_%s_b%v.netl", circuit, lib.Name, f.Synth.Buffering))
+}
+
+// SynthesizeTraditional synthesizes the benchmark the conventional way,
+// with the initial (degradation-unaware) library.
+func (f Flow) SynthesizeTraditional(circuit string) (*netlist.Netlist, error) {
+	lib, err := f.FreshLibrary()
+	if err != nil {
+		return nil, err
+	}
+	return f.Synthesized(circuit, lib)
+}
+
+// SynthesizeAgingAware synthesizes with the worst-case degradation-aware
+// library (paper Sec. 4.3), yielding a netlist that is inherently more
+// resilient to aging, independent of workload.
+func (f Flow) SynthesizeAgingAware(circuit string) (*netlist.Netlist, error) {
+	lib, err := f.WorstLibrary()
+	if err != nil {
+		return nil, err
+	}
+	return f.Synthesized(circuit, lib)
+}
+
+// CP runs STA and returns the critical-path delay of the netlist under
+// the library.
+func (f Flow) CP(nl *netlist.Netlist, lib *liberty.Library) (float64, error) {
+	res, err := sta.Analyze(nl, lib, f.STA)
+	if err != nil {
+		return 0, err
+	}
+	return res.CP, nil
+}
+
+// Guardband is one guardband estimation outcome (paper Fig. 4b): the
+// timing margin that must be added on top of the fresh critical path so
+// the circuit still meets timing after the projected aging.
+type Guardband struct {
+	Circuit   string
+	FreshCP   float64 // critical path before aging [s]
+	AgedCP    float64 // critical path under the aging scenario [s]
+	Guardband float64 // AgedCP - FreshCP [s]
+}
+
+// StaticGuardband estimates the guardband of a netlist under a static
+// aging stress scenario.
+func (f Flow) StaticGuardband(circuit string, nl *netlist.Netlist, s aging.Scenario) (Guardband, error) {
+	fresh, err := f.FreshLibrary()
+	if err != nil {
+		return Guardband{}, err
+	}
+	aged, err := f.Library(s)
+	if err != nil {
+		return Guardband{}, err
+	}
+	fcp, err := f.CP(nl, fresh)
+	if err != nil {
+		return Guardband{}, err
+	}
+	acp, err := f.CP(nl, aged)
+	if err != nil {
+		return Guardband{}, err
+	}
+	return Guardband{Circuit: circuit, FreshCP: fcp, AgedCP: acp, Guardband: acp - fcp}, nil
+}
+
+// DynamicGuardband estimates the guardband under the aging stress a
+// specific workload induces (paper Sec. 4.2): simulate the workload,
+// extract per-instance duty cycles, annotate the netlist with lambda
+// indexes, and time it against the complete degradation-aware library.
+func (f Flow) DynamicGuardband(circuit string, nl *netlist.Netlist,
+	stim func(step int) map[string]uint64, steps int) (Guardband, *netlist.Netlist, error) {
+
+	sim, err := gatesim.New(nl)
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	prob := sim.Activities(stim, steps)
+	lambdas, err := gatesim.DeriveLambdas(nl, prob)
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	ann := nl.Annotate(lambdas)
+	base := aging.WorstCase(f.Lifetime)
+	scens, err := netlist.AnnotatedScenarios(ann, base)
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	merged, err := f.CompleteLibrary(scens)
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	fresh, err := f.FreshLibrary()
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	fcp, err := f.CP(nl, fresh)
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	acp, err := f.CP(ann, &merged.Library)
+	if err != nil {
+		return Guardband{}, nil, err
+	}
+	return Guardband{Circuit: circuit, FreshCP: fcp, AgedCP: acp, Guardband: acp - fcp}, ann, nil
+}
+
+// Area returns the total cell area of a netlist in um^2.
+func Area(nl *netlist.Netlist) (float64, error) {
+	st, err := nl.ComputeStats(gatesim.CatalogLookup)
+	if err != nil {
+		return 0, err
+	}
+	return st.AreaUm2, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/gatesim"
+	"ageguard/internal/image"
+	"ageguard/internal/liberty"
+	"ageguard/internal/netlist"
+	"ageguard/internal/rtl"
+	"ageguard/internal/sta"
+)
+
+// ImageCase is one scenario of the paper's system-level study (Fig. 6c/7):
+// a design style (aging-unaware vs aging-aware synthesis) operated after a
+// given amount of aging stress, with NO guardband — both designs run at
+// the frequency of the traditional design in the absence of aging.
+type ImageCase struct {
+	Label    string
+	Aware    bool           // design synthesized with the degradation-aware library
+	Scenario aging.Scenario // stress accumulated at evaluation time
+}
+
+// StandardImageCases returns the scenarios of Fig. 6(c): unaged,
+// balance-case (the outcome of duty-cycle balancing mitigation) after 1
+// year, and worst-case after 1 and 10 years, for both design styles.
+func StandardImageCases() []ImageCase {
+	return []ImageCase{
+		{Label: "unaware-year0", Aware: false, Scenario: aging.Fresh()},
+		{Label: "unaware-balance-1y", Aware: false, Scenario: aging.BalanceCase(1)},
+		{Label: "unaware-worst-1y", Aware: false, Scenario: aging.WorstCase(1)},
+		{Label: "unaware-worst-10y", Aware: false, Scenario: aging.WorstCase(10)},
+		{Label: "aware-year0", Aware: true, Scenario: aging.Fresh()},
+		{Label: "aware-worst-1y", Aware: true, Scenario: aging.WorstCase(1)},
+		{Label: "aware-worst-10y", Aware: true, Scenario: aging.WorstCase(10)},
+	}
+}
+
+// ImageOutcome is the measured quality of one case.
+type ImageOutcome struct {
+	Label string
+	PSNR  float64
+	Out   *image.Gray
+}
+
+// ImageStudy runs the DCT-IDCT chain on the image for every case and
+// returns the reconstructed images with their PSNR versus the original.
+//
+// Following the paper, the clock is fixed for all cases at the maximum
+// performance of the traditionally synthesized circuits in the absence of
+// aging, so neither design gets a guardband; quality loss then directly
+// reflects sensitized timing errors in the aged gate-level simulation.
+func (f Flow) ImageStudy(img *image.Gray, cases []ImageCase) ([]ImageOutcome, error) {
+	fresh, err := f.FreshLibrary()
+	if err != nil {
+		return nil, err
+	}
+	dctTrad, err := f.SynthesizeTraditional("DCT")
+	if err != nil {
+		return nil, err
+	}
+	idctTrad, err := f.SynthesizeTraditional("IDCT")
+	if err != nil {
+		return nil, err
+	}
+	dctAware, err := f.SynthesizeAgingAware("DCT")
+	if err != nil {
+		return nil, err
+	}
+	idctAware, err := f.SynthesizeAgingAware("IDCT")
+	if err != nil {
+		return nil, err
+	}
+	cpDCT, err := f.CP(dctTrad, fresh)
+	if err != nil {
+		return nil, err
+	}
+	cpIDCT, err := f.CP(idctTrad, fresh)
+	if err != nil {
+		return nil, err
+	}
+	period := cpDCT
+	if cpIDCT > period {
+		period = cpIDCT
+	}
+
+	var out []ImageOutcome
+	for _, c := range cases {
+		lib, err := f.Library(c.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		dctNl, idctNl := dctTrad, idctTrad
+		if c.Aware {
+			dctNl, idctNl = dctAware, idctAware
+		}
+		dctT, err := f.circuitTransform(dctNl, lib, period, "x", "y")
+		if err != nil {
+			return nil, fmt.Errorf("core: case %s DCT: %w", c.Label, err)
+		}
+		idctT, err := f.circuitTransform(idctNl, lib, period, "z", "y")
+		if err != nil {
+			return nil, fmt.Errorf("core: case %s IDCT: %w", c.Label, err)
+		}
+		rec := image.RunChainBatch(img, dctT, idctT)
+		out = append(out, ImageOutcome{Label: c.Label, PSNR: image.PSNR(img, rec), Out: rec})
+	}
+	return out, nil
+}
+
+// circuitTransform wraps a synthesized transform netlist, operated at the
+// given clock period under the given (possibly aged) library, as a batch
+// 8-point transform. Rows are streamed through the 2-stage register
+// pipeline (input regs, output regs), so results emerge with a latency of
+// two cycles.
+func (f Flow) circuitTransform(nl *netlist.Netlist, lib *liberty.Library,
+	period float64, inPrefix, outPrefix string) (image.Transform1DBatch, error) {
+
+	res, err := sta.Analyze(nl, lib, f.STA)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := gatesim.NewTimed(nl, lib, res)
+	if err != nil {
+		return nil, err
+	}
+	const w = rtl.DCTWidth
+	// Input bit names: <inPrefix><a..h>[bit]; outputs: <outPrefix><0..7>[bit].
+	inName := func(k, bit int) string {
+		return fmt.Sprintf("%s%c[%d]", inPrefix, 'a'+k, bit)
+	}
+	outName := func(k, bit int) string {
+		return fmt.Sprintf("%s%d[%d]", outPrefix, k, bit)
+	}
+	return func(rows [][8]int64) [][8]int64 {
+		results := make([][8]int64, len(rows))
+		n := len(rows)
+		for cyc := 0; cyc < n+2; cyc++ {
+			feed := rows[min(cyc, n-1)]
+			in := make(map[string]bool, 8*w)
+			for k := 0; k < 8; k++ {
+				v := uint64(feed[k])
+				for b := 0; b < w; b++ {
+					in[inName(k, b)] = v>>uint(b)&1 == 1
+				}
+			}
+			got := ts.Cycle(in, period)
+			if cyc >= 2 {
+				var vec [8]int64
+				for k := 0; k < 8; k++ {
+					var v uint64
+					for b := 0; b < w; b++ {
+						if got[outName(k, b)] {
+							v |= 1 << uint(b)
+						}
+					}
+					vec[k] = signExtend(v, w)
+				}
+				results[cyc-2] = vec
+			}
+		}
+		return results
+	}, nil
+}
+
+func signExtend(v uint64, w int) int64 {
+	if v>>(uint(w)-1)&1 == 1 {
+		v |= ^uint64(0) << uint(w)
+	}
+	return int64(v)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ageguard/internal/image"
+	"ageguard/internal/rtl"
+	"ageguard/internal/sta"
+)
+
+// TestCircuitTransformMatchesFixedPoint drives the synthesized DCT
+// netlist through the timed simulator at a relaxed clock and checks the
+// streamed results bit-exactly against the fixed-point golden model —
+// validating the whole netlist+timing+pipeline plumbing end to end.
+func TestCircuitTransformMatchesFixedPoint(t *testing.T) {
+	f := Default()
+	lib, err := f.FreshLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := f.SynthesizeTraditional("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sta.Analyze(nl, lib, f.STA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous clock: no timing errors possible.
+	tr, err := f.circuitTransform(nl, lib, res.CP*1.5, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][8]int64, 12)
+	for i := range rows {
+		for k := 0; k < 8; k++ {
+			rows[i][k] = int64(rng.Intn(256) - 128)
+		}
+	}
+	got := tr(rows)
+	m := rtl.DCTCoeff()
+	for i, row := range rows {
+		want := fixedDCT(m, row)
+		if got[i] != want {
+			t.Fatalf("row %d: circuit %v != golden %v", i, got[i], want)
+		}
+	}
+}
+
+// fixedDCT is the bit-exact fixed-point model of the DCT circuit.
+func fixedDCT(m [8][8]int64, x [8]int64) [8]int64 {
+	var y [8]int64
+	for k := 0; k < 8; k++ {
+		var sum int64
+		for n := 0; n < 8; n++ {
+			sum += x[n] * m[k][n]
+		}
+		v := (sum + 1<<(rtl.DCTFrac-1)) >> rtl.DCTFrac
+		lim := int64(1)<<(rtl.DCTWidth-1) - 1
+		if v > lim {
+			v = lim
+		}
+		if v < -lim-1 {
+			v = -lim - 1
+		}
+		y[k] = v
+	}
+	return y
+}
+
+// TestCircuitTransformErrsWhenOverclocked checks that an absurdly tight
+// clock corrupts the streamed results — the error-injection mechanism of
+// the Fig. 6c study.
+func TestCircuitTransformErrsWhenOverclocked(t *testing.T) {
+	f := Default()
+	lib, err := f.FreshLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := f.SynthesizeTraditional("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sta.Analyze(nl, lib, f.STA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.circuitTransform(nl, lib, res.CP*0.4, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][8]int64, 12)
+	for i := range rows {
+		for k := 0; k < 8; k++ {
+			rows[i][k] = int64(rng.Intn(256) - 128)
+		}
+	}
+	got := tr(rows)
+	m := rtl.DCTCoeff()
+	errs := 0
+	for i, row := range rows {
+		if got[i] != fixedDCT(m, row) {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Error("no timing errors at 0.4x clock period")
+	}
+}
+
+// TestGoldenBatchAgreesWithScalarChain cross-checks the batch chain used
+// by the hardware study against the scalar reference chain.
+func TestGoldenBatchAgreesWithScalarChain(t *testing.T) {
+	img := image.TestImage(32, 32)
+	a := image.RunChain(img, image.GoldenDCT(), image.GoldenIDCT())
+	b := image.RunChainBatch(img, image.GoldenDCT().Batch(), image.GoldenIDCT().Batch())
+	if image.PSNR(a, b) < 100 { // effectively identical
+		t.Errorf("batch chain diverges from scalar chain: PSNR %v", image.PSNR(a, b))
+	}
+}

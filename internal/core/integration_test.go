@@ -1,0 +1,184 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"ageguard/internal/image"
+	"ageguard/internal/liberty"
+)
+
+// TestFig5Shapes runs the paper's Fig. 5 comparisons on a two-circuit
+// subset (artifacts cached under .libcache, so this is fast after the
+// first run) and asserts the papers' qualitative claims:
+//
+//	(a) Vth-only analysis underestimates guardbands (~-19%),
+//	(b) single-OPC analysis grossly overestimates (~+214%),
+//	(c) the initially-critical path underestimates the aged CP (<= 0).
+func TestFig5Shapes(t *testing.T) {
+	f := Default()
+	circuits := []string{"RISC-5P", "VLIW"}
+
+	a, err := f.Fig5a(circuits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgPct > -10 || a.AvgPct < -35 {
+		t.Errorf("Fig5a avg = %+.1f%%, want around -19%%", a.AvgPct)
+	}
+	for _, row := range a.Rows {
+		if row.DeltaPct >= 0 {
+			t.Errorf("Fig5a %s: Vth-only should underestimate, got %+.1f%%", row.Circuit, row.DeltaPct)
+		}
+	}
+
+	b, err := f.Fig5b(circuits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AvgPct < 50 {
+		t.Errorf("Fig5b avg = %+.1f%%, want large overestimation", b.AvgPct)
+	}
+
+	c, err := f.Fig5c(circuits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range c.Rows {
+		if row.DeltaPct > 1e-9 {
+			t.Errorf("Fig5c %s: initial-CP estimate must not exceed the true aged CP (%+.2f%%)",
+				row.Circuit, row.DeltaPct)
+		}
+	}
+}
+
+// TestFig3Switches asserts the criticality-switch example reproduces.
+func TestFig3Switches(t *testing.T) {
+	f := Default()
+	r, err := f.Fig3PathSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Switched {
+		t.Fatalf("no criticality switch found:\n%s", r.Format())
+	}
+	if r.Path1Fresh <= r.Path2Fresh || r.Path2Aged <= r.Path1Aged {
+		t.Errorf("switch direction inconsistent: %+v", r)
+	}
+}
+
+// TestFig2Shape asserts the delay-change distribution has the paper's
+// structure: the single-OPC view degrades everything mildly, the
+// multi-OPC view spans from improvements to several-hundred-percent
+// amplification.
+func TestFig2Shape(t *testing.T) {
+	f := Default()
+	d, err := f.DelayChangeDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ImprovedFractionSingle() != 0 {
+		t.Errorf("single OPC shows improvements (%.1f%%); paper: all degrade",
+			d.ImprovedFractionSingle()*100)
+	}
+	if frac := d.ImprovedFractionMulti(); frac <= 0.01 || frac > 0.4 {
+		t.Errorf("multi-OPC improved fraction = %.1f%%, want a clear population", frac*100)
+	}
+	lo, hi := d.Range()
+	if lo > -10 {
+		t.Errorf("multi-OPC range low = %.1f%%, want improvements below -10%%", lo)
+	}
+	if hi < 100 {
+		t.Errorf("multi-OPC range high = %.1f%%, want amplification beyond +100%%", hi)
+	}
+}
+
+// TestContainmentShape runs the Fig. 6a comparison on the circuit where
+// the aging-aware flow has the most room (VLIW) and asserts the paper's
+// direction: a positive guardband reduction at small area cost.
+func TestContainmentShape(t *testing.T) {
+	f := Default()
+	row, err := f.Containment("VLIW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RequiredGB <= 0 {
+		t.Fatalf("required guardband %v not positive", row.RequiredGB)
+	}
+	if row.ReductionPct <= 0 {
+		t.Errorf("VLIW containment = %+.1f%%, want positive", row.ReductionPct)
+	}
+	if row.AreaOvhPct > 15 || row.AreaOvhPct < -15 {
+		t.Errorf("area overhead %+.1f%% out of plausible band", row.AreaOvhPct)
+	}
+}
+
+// TestImageStudyFull runs the complete Fig. 6c study; it takes several
+// minutes of gate-level simulation, so it is gated behind an environment
+// variable (the benchmark suite also regenerates it).
+func TestImageStudyFull(t *testing.T) {
+	if os.Getenv("AGEGUARD_FULL") == "" {
+		t.Skip("set AGEGUARD_FULL=1 to run the full image study")
+	}
+	f := Default()
+	img := image.TestImage(48, 48)
+	out, err := f.ImageStudy(img, StandardImageCases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr := map[string]float64{}
+	for _, r := range out {
+		psnr[r.Label] = r.PSNR
+		t.Logf("%-22s %7.2f dB", r.Label, r.PSNR)
+	}
+	if psnr["unaware-year0"] < 40 {
+		t.Errorf("fresh pipeline PSNR %v below fixed-point baseline", psnr["unaware-year0"])
+	}
+	if psnr["unaware-worst-10y"] > 30 {
+		t.Errorf("unguardbanded aged design should fail the 30dB bar, got %v", psnr["unaware-worst-10y"])
+	}
+	if psnr["aware-worst-10y"] < psnr["unaware-worst-10y"] {
+		t.Errorf("aware design (%v dB) should not be worse than unaware (%v dB)",
+			psnr["aware-worst-10y"], psnr["unaware-worst-10y"])
+	}
+}
+
+// TestIterativeTighteningBaseline checks the [14]-style baseline runs and
+// reports a bounded result.
+func TestIterativeTighteningBaseline(t *testing.T) {
+	f := Default()
+	row, err := f.IterativeTightening("VLIW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RequiredGB <= 0 || row.TightenedGB <= 0 {
+		t.Fatalf("degenerate guardbands: %+v", row)
+	}
+	// The baseline must not beat this work's aware flow on its home turf.
+	if row.BaselinePct > row.AgingAwarePct+10 {
+		t.Errorf("[14] baseline (%+.1f%%) unexpectedly beats aging-aware flow (%+.1f%%)",
+			row.BaselinePct, row.AgingAwarePct)
+	}
+}
+
+// TestLibertyExportOfAgedLibrary smoke-checks the .lib emission of a real
+// characterized library.
+func TestLibertyExportOfAgedLibrary(t *testing.T) {
+	f := Default()
+	lib, err := f.WorstLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "*.lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := liberty.WriteLiberty(tmp, lib); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := tmp.Stat()
+	if st.Size() < 100_000 {
+		t.Errorf("emitted library suspiciously small: %d bytes", st.Size())
+	}
+}

@@ -1,0 +1,207 @@
+// Package device implements a 45 nm-class MOSFET compact model in the
+// spirit of the high-performance Predictive Technology Model (PTM) used by
+// the paper. The model is a velocity-saturated square law (a reduced BSIM4
+// form) with channel-length modulation; it captures the interdependencies
+// that matter for aging analysis: the drain current — and hence gate delay —
+// depends jointly on threshold voltage (Vth) and carrier mobility (mu), so
+// BTI-induced degradations of either parameter propagate to delay.
+//
+// Aged devices are expressed as a fresh parameter set plus a Vth shift and a
+// mobility multiplier produced by package aging; see Degrade.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"ageguard/internal/units"
+)
+
+// Type distinguishes n-channel from p-channel transistors.
+type Type int
+
+const (
+	// NMOS is an n-channel MOSFET (subject to PBTI).
+	NMOS Type = iota
+	// PMOS is a p-channel MOSFET (subject to NBTI).
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (t Type) String() string {
+	if t == PMOS {
+		return "pmos"
+	}
+	return "nmos"
+}
+
+// Tech bundles technology-level constants shared by all transistors of one
+// process corner. The defaults model a 45 nm high-k/metal-gate process at
+// Vdd = 1.1 V (PTM 45 nm HP class; the paper uses the same family).
+type Tech struct {
+	Vdd  float64 // nominal supply voltage [V]
+	L    float64 // drawn channel length [m]
+	Cox  float64 // areal gate-oxide capacitance [F/m^2]
+	TOxE float64 // effective oxide thickness [m] (for reference/reporting)
+
+	// Per-type zero-bias parameters.
+	VthN, VthP float64 // |Vth0| [V]
+	MuN, MuP   float64 // low-field effective mobility [m^2/Vs]
+	VsatN      float64 // electron saturation velocity [m/s]
+	VsatP      float64 // hole saturation velocity [m/s]
+	LambdaCLM  float64 // channel-length modulation [1/V]
+
+	// Parasitic capacitance coefficients.
+	CgOverlap float64 // gate overlap cap per unit width [F/m]
+	CjDrain   float64 // drain junction cap per unit width [F/m]
+}
+
+// Default45 returns the 45 nm high-k technology card used throughout the
+// reproduction. Values are PTM-45HP-flavoured; absolute currents are within
+// a small factor of silicon, which preserves all delay *ratios* the paper's
+// evaluation depends on.
+func Default45() Tech {
+	return Tech{
+		Vdd:       1.1,
+		L:         45 * units.Nm,
+		Cox:       3.45e-2, // ~1.0 nm EOT -> 34.5 fF/um^2
+		TOxE:      1.0 * units.Nm,
+		VthN:      0.466,
+		VthP:      0.412,
+		MuN:       0.0350,
+		MuP:       0.0190,
+		VsatN:     1.00e5,
+		VsatP:     0.85e5,
+		LambdaCLM: 0.08,
+		CgOverlap: 0.35e-9, // 0.35 fF/um
+		CjDrain:   0.70e-9, // 0.70 fF/um
+	}
+}
+
+// Params is one transistor instance: geometry plus (possibly aged)
+// electrical parameters. The zero value is not usable; construct with
+// Tech.Transistor and optionally apply Degrade.
+type Params struct {
+	Type Type
+	W    float64 // channel width [m]
+	L    float64 // channel length [m]
+
+	Vth  float64 // threshold voltage magnitude [V] (aged value)
+	Mu   float64 // effective mobility [m^2/Vs] (aged value)
+	Vsat float64 // saturation velocity [m/s]
+	CLM  float64 // channel-length modulation [1/V]
+	Cox  float64 // areal gate-oxide capacitance [F/m^2]
+
+	// Parasitics derived from geometry.
+	CGate  float64 // total gate capacitance (channel + overlap) [F]
+	CDrain float64 // drain junction capacitance [F]
+}
+
+// Transistor builds a fresh transistor of the given type and width.
+func (t Tech) Transistor(typ Type, w float64) Params {
+	p := Params{Type: typ, W: w, L: t.L, CLM: t.LambdaCLM, Cox: t.Cox}
+	switch typ {
+	case NMOS:
+		p.Vth, p.Mu, p.Vsat = t.VthN, t.MuN, t.VsatN
+	case PMOS:
+		p.Vth, p.Mu, p.Vsat = t.VthP, t.MuP, t.VsatP
+	}
+	p.CGate = t.Cox*w*t.L + t.CgOverlap*w
+	p.CDrain = t.CjDrain * w
+	return p
+}
+
+// Degrade returns a copy of p with the threshold voltage shifted by dVth
+// (magnitude, volts) and the mobility scaled by muFactor in (0, 1].
+// This is how BTI aging (package aging) is applied to a device.
+func (p Params) Degrade(dVth, muFactor float64) Params {
+	q := p
+	q.Vth += dVth
+	q.Mu *= muFactor
+	return q
+}
+
+// EsatL returns the velocity-saturation critical voltage Esat*L for the
+// device, where Esat = 2*vsat/mu.
+func (p Params) EsatL() float64 { return 2 * p.Vsat / p.Mu * p.L }
+
+// Ids returns the drain-to-source channel current for terminal voltages
+// vd, vg, vs (all referred to ground). The sign convention is physical:
+// for NMOS, positive current flows from the higher of (vd,vs) to the lower;
+// the returned value is the current flowing INTO the "d" terminal
+// (i.e. out of the node wired as drain), so it can be stamped directly into
+// nodal analysis: I(d) = +Ids, I(s) = -Ids.
+//
+// The model is symmetric in drain/source (required for transmission gates)
+// and C1-continuous across cutoff/linear/saturation boundaries, which keeps
+// Newton iteration in the transient simulator well-behaved.
+func (p Params) Ids(vd, vg, vs float64) float64 {
+	switch p.Type {
+	case NMOS:
+		if vd >= vs {
+			return p.channel(vg-vs, vd-vs)
+		}
+		return -p.channel(vg-vd, vs-vd)
+	default: // PMOS: mirror voltages
+		if vd <= vs {
+			return -p.channel(vs-vg, vs-vd)
+		}
+		return p.channel(vd-vg, vd-vs)
+	}
+}
+
+// channel evaluates the velocity-saturated square-law current for
+// vgs, vds >= 0 in the NMOS frame, returning a non-negative current.
+func (p Params) channel(vgs, vds float64) float64 {
+	vov := vgs - p.Vth
+	if vov <= 0 {
+		return 0 // long-term aging study: subthreshold leakage irrelevant
+	}
+	el := p.EsatL()
+	// Velocity-saturated model (Toh-Ko-Meyer form):
+	//   Vdsat = vov*EL/(vov+EL)
+	//   Isat  = W*vsat*Cox*vov^2/(vov+EL)
+	//   Ilin  = mu*Cox*(W/L)*(vov - vds/2)*vds / (1 + vds/EL)
+	vdsat := vov * el / (vov + el)
+	if vds >= vdsat {
+		isat := p.W * p.Vsat * p.Cox * vov * vov / (vov + el)
+		return isat * (1 + p.CLM*(vds-vdsat))
+	}
+	return p.Mu * p.Cox * (p.W / p.L) * (vov - vds/2) * vds / (1 + vds/el)
+}
+
+// Gm returns the numerical transconductance dIds/dVg at the operating point.
+func (p Params) Gm(vd, vg, vs float64) float64 {
+	const h = 1e-4
+	return (p.Ids(vd, vg+h, vs) - p.Ids(vd, vg-h, vs)) / (2 * h)
+}
+
+// Gds returns the numerical output conductance dIds/dVd.
+func (p Params) Gds(vd, vg, vs float64) float64 {
+	const h = 1e-4
+	return (p.Ids(vd+h, vg, vs) - p.Ids(vd-h, vg, vs)) / (2 * h)
+}
+
+// String describes the device ("pmos W=630nm Vth=412.0mV mu=0.0190").
+func (p Params) String() string {
+	return fmt.Sprintf("%s W=%.0fnm Vth=%s mu=%.4f", p.Type, p.W/units.Nm, units.MVString(p.Vth), p.Mu)
+}
+
+// OnCurrent returns the saturated on-current at full gate drive with the
+// given supply, a convenient figure of merit for tests and calibration.
+func (p Params) OnCurrent(vdd float64) float64 {
+	if p.Type == NMOS {
+		return p.Ids(vdd, vdd, 0)
+	}
+	return -p.Ids(0, 0, vdd)
+}
+
+// EffectiveResistance estimates the switching resistance Vdd/(2*Ion),
+// used for quick RC delay sanity checks in tests.
+func (p Params) EffectiveResistance(vdd float64) float64 {
+	ion := p.OnCurrent(vdd)
+	if ion <= 0 {
+		return math.Inf(1)
+	}
+	return vdd / (2 * ion)
+}

@@ -1,0 +1,148 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ageguard/internal/units"
+)
+
+func freshN() Params { return Default45().Transistor(NMOS, 400*units.Nm) }
+func freshP() Params { return Default45().Transistor(PMOS, 800*units.Nm) }
+
+func TestOnCurrentMagnitude(t *testing.T) {
+	tech := Default45()
+	n, p := freshN(), freshP()
+	in := n.OnCurrent(tech.Vdd)
+	ip := p.OnCurrent(tech.Vdd)
+	// 45nm-class on-currents: order 0.1-1 mA for sub-micron widths.
+	if in < 50*units.UA || in > 2*units.MA {
+		t.Errorf("nMOS Ion = %g A out of plausible range", in)
+	}
+	if ip < 50*units.UA || ip > 2*units.MA {
+		t.Errorf("pMOS Ion = %g A out of plausible range", ip)
+	}
+	// The 2:1 width ratio should roughly balance n/p drive.
+	if r := in / ip; r < 0.6 || r > 1.8 {
+		t.Errorf("Ion ratio n/p = %v, want near 1 for 2:1 sizing", r)
+	}
+}
+
+func TestCutoff(t *testing.T) {
+	n := freshN()
+	if got := n.Ids(1.1, 0, 0); got != 0 {
+		t.Errorf("nMOS with Vgs=0 should be off, got %g", got)
+	}
+	p := freshP()
+	if got := p.Ids(0, 1.1, 1.1); got != 0 {
+		t.Errorf("pMOS with Vgs=0 should be off, got %g", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	// Swapping drain and source must negate the current (transmission
+	// gates rely on this).
+	n := freshN()
+	f := func(vd, vg, vs float64) bool {
+		vd = units.Clamp(vd, 0, 1.1)
+		vg = units.Clamp(vg, 0, 1.1)
+		vs = units.Clamp(vs, 0, 1.1)
+		a := n.Ids(vd, vg, vs)
+		b := n.Ids(vs, vg, vd)
+		return math.Abs(a+b) <= 1e-12*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInVgs(t *testing.T) {
+	n := freshN()
+	prev := -1.0
+	for vg := 0.0; vg <= 1.1; vg += 0.01 {
+		i := n.Ids(1.1, vg, 0)
+		if i < prev-1e-15 {
+			t.Fatalf("Ids not monotone in Vgs at vg=%v", vg)
+		}
+		prev = i
+	}
+}
+
+func TestContinuityAcrossVdsat(t *testing.T) {
+	n := freshN()
+	vov := 1.1 - n.Vth
+	el := n.EsatL()
+	vdsat := vov * el / (vov + el)
+	below := n.Ids(vdsat-1e-7, 1.1, 0)
+	above := n.Ids(vdsat+1e-7, 1.1, 0)
+	if rel := math.Abs(above-below) / above; rel > 1e-3 {
+		t.Errorf("current discontinuity at Vdsat: %g vs %g", below, above)
+	}
+}
+
+func TestDegradeReducesCurrent(t *testing.T) {
+	n := freshN()
+	aged := n.Degrade(0.05, 0.9)
+	iFresh := n.OnCurrent(1.1)
+	iAged := aged.OnCurrent(1.1)
+	if iAged >= iFresh {
+		t.Errorf("aged current %g not below fresh %g", iAged, iFresh)
+	}
+	// Degrading only Vth must reduce current less than Vth+mu together.
+	vthOnly := n.Degrade(0.05, 1.0)
+	if vo := vthOnly.OnCurrent(1.1); vo <= iAged {
+		t.Errorf("Vth-only current %g should exceed Vth+mu current %g", vo, iAged)
+	}
+}
+
+func TestDegradeDoesNotMutate(t *testing.T) {
+	n := freshN()
+	vth := n.Vth
+	_ = n.Degrade(0.1, 0.5)
+	if n.Vth != vth {
+		t.Error("Degrade mutated the receiver")
+	}
+}
+
+func TestGmGdsPositiveInSaturation(t *testing.T) {
+	n := freshN()
+	if gm := n.Gm(1.1, 0.8, 0); gm <= 0 {
+		t.Errorf("gm = %g, want > 0", gm)
+	}
+	if gds := n.Gds(1.1, 0.8, 0); gds <= 0 {
+		t.Errorf("gds = %g, want > 0", gds)
+	}
+}
+
+func TestParasiticCaps(t *testing.T) {
+	n := freshN()
+	if n.CGate <= 0 || n.CDrain <= 0 {
+		t.Fatal("parasitic caps must be positive")
+	}
+	// Gate cap of a 400nm/45nm device: order of a femtofarad.
+	if n.CGate < 0.1*units.FF || n.CGate > 10*units.FF {
+		t.Errorf("CGate = %v out of plausible range", units.FFString(n.CGate))
+	}
+}
+
+func TestEffectiveResistance(t *testing.T) {
+	n := freshN()
+	r := n.EffectiveResistance(1.1)
+	if r < 100 || r > 100e3 {
+		t.Errorf("Reff = %v ohm out of plausible range", r)
+	}
+	aged := n.Degrade(0.06, 0.88)
+	if aged.EffectiveResistance(1.1) <= r {
+		t.Error("aged device should have higher effective resistance")
+	}
+}
+
+func TestPMOSCurrentSign(t *testing.T) {
+	p := freshP()
+	// Source at Vdd, gate low, drain low: current flows INTO drain node
+	// (charging it), i.e. Ids (drain current, d->s) is negative.
+	if i := p.Ids(0, 0, 1.1); i >= 0 {
+		t.Errorf("pMOS pull-up current sign wrong: %g", i)
+	}
+}

@@ -1,0 +1,190 @@
+package image
+
+import "math"
+
+// Transform1D is an 8-point transform: the interface between the image
+// chain and whichever engine computes it (software model, functional
+// gate-level simulation, or timed aged simulation).
+type Transform1D func(in [8]int64) [8]int64
+
+// GoldenDCT returns the floating-point orthonormal 8-point DCT-II,
+// rounded to integers — the reference encoder.
+func GoldenDCT() Transform1D {
+	m := goldenMatrix()
+	return func(in [8]int64) [8]int64 { return matVec(m, in) }
+}
+
+// GoldenIDCT returns the floating-point inverse (DCT-III), the reference
+// decoder.
+func GoldenIDCT() Transform1D {
+	m := goldenMatrix()
+	var tr [8][8]float64
+	for i := range m {
+		for j := range m {
+			tr[i][j] = m[j][i]
+		}
+	}
+	return func(in [8]int64) [8]int64 { return matVec(tr, in) }
+}
+
+func goldenMatrix() [8][8]float64 {
+	var m [8][8]float64
+	for k := 0; k < 8; k++ {
+		s := math.Sqrt(2.0 / 8.0)
+		if k == 0 {
+			s = math.Sqrt(1.0 / 8.0)
+		}
+		for n := 0; n < 8; n++ {
+			m[k][n] = s * math.Cos(float64(2*n+1)*float64(k)*math.Pi/16)
+		}
+	}
+	return m
+}
+
+func matVec(m [8][8]float64, x [8]int64) [8]int64 {
+	var y [8]int64
+	for k := 0; k < 8; k++ {
+		var s float64
+		for n := 0; n < 8; n++ {
+			s += m[k][n] * float64(x[n])
+		}
+		y[k] = int64(math.Round(s))
+	}
+	return y
+}
+
+// Block is an 8x8 sample block.
+type Block [8][8]int64
+
+// Transform2D applies the 1-D transform separably: first to every row,
+// then to every column — the row/column architecture of a hardware 2-D
+// DCT with a transpose buffer.
+func Transform2D(b Block, f Transform1D) Block {
+	var tmp, out Block
+	for r := 0; r < 8; r++ {
+		tmp[r] = f(b[r])
+	}
+	for c := 0; c < 8; c++ {
+		var col [8]int64
+		for r := 0; r < 8; r++ {
+			col[r] = tmp[r][c]
+		}
+		col = f(col)
+		for r := 0; r < 8; r++ {
+			out[r][c] = col[r]
+		}
+	}
+	return out
+}
+
+// RunChain encodes and decodes the image through the DCT-IDCT chain:
+// level shift, per-block 2-D forward transform with dct, 2-D inverse with
+// idct, and reconstruction — the paper's Fig. 6(c)/7 pipeline. Image
+// dimensions must be multiples of 8.
+func RunChain(img *Gray, dct, idct Transform1D) *Gray {
+	if img.W%8 != 0 || img.H%8 != 0 {
+		panic("image: dimensions must be multiples of 8")
+	}
+	out := NewGray(img.W, img.H)
+	for by := 0; by < img.H; by += 8 {
+		for bx := 0; bx < img.W; bx += 8 {
+			var blk Block
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					blk[r][c] = int64(img.At(bx+c, by+r)) - 128
+				}
+			}
+			coeff := Transform2D(blk, dct)
+			rec := Transform2D(coeff, idct)
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					out.Set(bx+c, by+r, clamp8(float64(rec[r][c]+128)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Transform1DBatch transforms many 8-sample vectors in one call. Hardware
+// engines implement it by streaming rows through a pipelined circuit;
+// Batch adapts a scalar transform.
+type Transform1DBatch func(rows [][8]int64) [][8]int64
+
+// Batch lifts a scalar Transform1D to the batch interface.
+func (f Transform1D) Batch() Transform1DBatch {
+	return func(rows [][8]int64) [][8]int64 {
+		out := make([][8]int64, len(rows))
+		for i, r := range rows {
+			out[i] = f(r)
+		}
+		return out
+	}
+}
+
+// RunChainBatch is RunChain with batch transforms: each separable pass
+// (block rows, then block columns, for DCT then IDCT) is streamed as one
+// batch, matching how a pipelined hardware transform processes an image
+// through a transpose buffer.
+func RunChainBatch(img *Gray, dct, idct Transform1DBatch) *Gray {
+	if img.W%8 != 0 || img.H%8 != 0 {
+		panic("image: dimensions must be multiples of 8")
+	}
+	nbx, nby := img.W/8, img.H/8
+	blocks := make([]Block, nbx*nby)
+	for by := 0; by < nby; by++ {
+		for bx := 0; bx < nbx; bx++ {
+			b := &blocks[by*nbx+bx]
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					b[r][c] = int64(img.At(bx*8+c, by*8+r)) - 128
+				}
+			}
+		}
+	}
+	pass := func(f Transform1DBatch, cols bool) {
+		vecs := make([][8]int64, 0, len(blocks)*8)
+		for bi := range blocks {
+			for k := 0; k < 8; k++ {
+				var v [8]int64
+				for i := 0; i < 8; i++ {
+					if cols {
+						v[i] = blocks[bi][i][k]
+					} else {
+						v[i] = blocks[bi][k][i]
+					}
+				}
+				vecs = append(vecs, v)
+			}
+		}
+		res := f(vecs)
+		for bi := range blocks {
+			for k := 0; k < 8; k++ {
+				v := res[bi*8+k]
+				for i := 0; i < 8; i++ {
+					if cols {
+						blocks[bi][i][k] = v[i]
+					} else {
+						blocks[bi][k][i] = v[i]
+					}
+				}
+			}
+		}
+	}
+	pass(dct, false) // rows
+	pass(dct, true)  // columns
+	pass(idct, false)
+	pass(idct, true)
+	out := NewGray(img.W, img.H)
+	for by := 0; by < nby; by++ {
+		for bx := 0; bx < nbx; bx++ {
+			b := &blocks[by*nbx+bx]
+			for r := 0; r < 8; r++ {
+				for c := 0; c < 8; c++ {
+					out.Set(bx*8+c, by*8+r, clamp8(float64(b[r][c]+128)))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package image
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	g := TestImage(32, 16)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 32 || got.H != 16 {
+		t.Fatalf("size = %dx%d", got.W, got.H)
+	}
+	if !bytes.Equal(got.Pix, g.Pix) {
+		t.Error("pixels changed in round trip")
+	}
+}
+
+func TestReadPGMRejectsGarbage(t *testing.T) {
+	if _, err := ReadPGM(bytes.NewReader([]byte("P6\n2 2\n255\nxxxx"))); err == nil {
+		t.Error("P6 accepted")
+	}
+	if _, err := ReadPGM(bytes.NewReader([]byte("hello"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := TestImage(64, 64)
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Error("identical images should give +Inf")
+	}
+	// One-off error on every pixel: MSE=1 -> PSNR = 10*log10(255^2) ~ 48.13.
+	b := a.Clone()
+	for i := range b.Pix {
+		if b.Pix[i] < 255 {
+			b.Pix[i]++
+		} else {
+			b.Pix[i]--
+		}
+	}
+	got := PSNR(a, b)
+	if math.Abs(got-48.13) > 0.01 {
+		t.Errorf("PSNR = %v, want ~48.13", got)
+	}
+	// Heavily corrupted image: PSNR far below the 30 dB quality bar.
+	c := a.Clone()
+	rng := rand.New(rand.NewSource(1))
+	for i := range c.Pix {
+		c.Pix[i] = uint8(rng.Intn(256))
+	}
+	if p := PSNR(a, c); p > 15 {
+		t.Errorf("random-noise PSNR = %v, want < 15", p)
+	}
+}
+
+func TestTestImageDeterministicAndVaried(t *testing.T) {
+	a := TestImage(64, 64)
+	b := TestImage(64, 64)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Error("test image not deterministic")
+	}
+	// Variance must be substantial (not a flat image).
+	var mean float64
+	for _, p := range a.Pix {
+		mean += float64(p)
+	}
+	mean /= float64(len(a.Pix))
+	var varSum float64
+	for _, p := range a.Pix {
+		d := float64(p) - mean
+		varSum += d * d
+	}
+	if sd := math.Sqrt(varSum / float64(len(a.Pix))); sd < 20 {
+		t.Errorf("test image stddev = %v, too flat", sd)
+	}
+}
+
+func TestGoldenChainHighQuality(t *testing.T) {
+	img := TestImage(64, 64)
+	rec := RunChain(img, GoldenDCT(), GoldenIDCT())
+	if p := PSNR(img, rec); p < 40 {
+		t.Errorf("golden DCT-IDCT PSNR = %v dB, want > 40", p)
+	}
+}
+
+func TestCorruptedTransformDegradesQuality(t *testing.T) {
+	img := TestImage(64, 64)
+	bad := func(in [8]int64) [8]int64 {
+		out := GoldenDCT()(in)
+		out[0] ^= 0x40 // flip a high-magnitude DC bit sometimes
+		return out
+	}
+	rec := RunChain(img, bad, GoldenIDCT())
+	if p := PSNR(img, rec); p > 25 {
+		t.Errorf("corrupted-transform PSNR = %v dB, want < 25", p)
+	}
+}
+
+func TestTransform2DOrthogonality(t *testing.T) {
+	// 2D golden DCT then IDCT must reconstruct within rounding.
+	rng := rand.New(rand.NewSource(2))
+	var b Block
+	for r := range b {
+		for c := range b[r] {
+			b[r][c] = int64(rng.Intn(256) - 128)
+		}
+	}
+	coeff := Transform2D(b, GoldenDCT())
+	rec := Transform2D(coeff, GoldenIDCT())
+	for r := range b {
+		for c := range b[r] {
+			if d := rec[r][c] - b[r][c]; d > 2 || d < -2 {
+				t.Fatalf("reconstruction error %d at (%d,%d)", d, r, c)
+			}
+		}
+	}
+}
+
+func TestRunChainPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for non-multiple-of-8 image")
+		}
+	}()
+	RunChain(NewGray(10, 8), GoldenDCT(), GoldenIDCT())
+}

@@ -1,0 +1,139 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteLiberty serializes the library in genuine Liberty (.lib) syntax so
+// the generated degradation-aware libraries can be consumed by external
+// EDA tools — mirroring the paper's published artifact, which plugs into
+// Synopsys flows unmodified. Units follow common industrial practice:
+// time in ns, capacitance in pF, voltage in V.
+//
+// The emitted subset covers what timing flows need: per-cell area, pin
+// directions and capacitances, NLDM timing groups (cell_rise/cell_fall,
+// rise_transition/fall_transition) with lu_table templates, sequential
+// cells with setup/hold constraints, and lambda-indexed cell names for
+// merged libraries.
+func WriteLiberty(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeLib(l.Name)
+	fmt.Fprintf(bw, "library (%s) {\n", name)
+	fmt.Fprintf(bw, "  comment : \"degradation-aware library, scenario %s\";\n", l.Scenario)
+	fmt.Fprintf(bw, "  delay_model : table_lookup;\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ns\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1,pf);\n")
+	fmt.Fprintf(bw, "  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.2f;\n", l.Vdd)
+	fmt.Fprintf(bw, "  nom_temperature : %.1f;\n", l.Scenario.TempK-273.15)
+	fmt.Fprintf(bw, "  nom_process : 1.0;\n")
+
+	fmt.Fprintf(bw, "  lu_table_template (delay_%dx%d) {\n", len(l.Slews), len(l.Loads))
+	fmt.Fprintf(bw, "    variable_1 : input_net_transition;\n")
+	fmt.Fprintf(bw, "    variable_2 : total_output_net_capacitance;\n")
+	fmt.Fprintf(bw, "    index_1 (\"%s\");\n", axis(l.Slews, 1e9))
+	fmt.Fprintf(bw, "    index_2 (\"%s\");\n", axis(l.Loads, 1e12))
+	fmt.Fprintf(bw, "  }\n")
+
+	for _, cn := range l.CellNames() {
+		writeLibertyCell(bw, l, l.Cells[cn])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func sanitizeLib(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func axis(v []float64, scale float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.6g", x*scale)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func writeLibertyCell(bw *bufio.Writer, l *Library, ct *CellTiming) {
+	fmt.Fprintf(bw, "  cell (%s) {\n", sanitizeLib(ct.Name))
+	fmt.Fprintf(bw, "    area : %.4f;\n", ct.AreaUm2)
+	if ct.Seq {
+		fmt.Fprintf(bw, "    ff (IQ, IQN) {\n")
+		fmt.Fprintf(bw, "      clocked_on : \"%s\";\n", ct.Clock)
+		fmt.Fprintf(bw, "      next_state : \"%s\";\n", ct.Data)
+		fmt.Fprintf(bw, "    }\n")
+	}
+	for _, pin := range ct.Inputs {
+		fmt.Fprintf(bw, "    pin (%s) {\n", pin)
+		fmt.Fprintf(bw, "      direction : input;\n")
+		fmt.Fprintf(bw, "      capacitance : %.6g;\n", ct.PinCap[pin]*1e12)
+		if ct.Seq && pin == ct.Clock {
+			fmt.Fprintf(bw, "      clock : true;\n")
+		}
+		if ct.Seq && pin == ct.Data {
+			writeConstraint(bw, "setup_rising", ct.Clock, ct.SetupPS*1e9)
+			writeConstraint(bw, "hold_rising", ct.Clock, ct.HoldPS*1e9)
+		}
+		fmt.Fprintf(bw, "    }\n")
+	}
+	fmt.Fprintf(bw, "    pin (%s) {\n", ct.Output)
+	fmt.Fprintf(bw, "      direction : output;\n")
+	if ct.Seq {
+		fmt.Fprintf(bw, "      function : \"IQ\";\n")
+	}
+	for _, arc := range ct.Arcs {
+		fmt.Fprintf(bw, "      timing () {\n")
+		fmt.Fprintf(bw, "        related_pin : \"%s\";\n", arc.Pin)
+		if ct.Seq && arc.Pin == ct.Clock {
+			fmt.Fprintf(bw, "        timing_type : rising_edge;\n")
+		} else {
+			fmt.Fprintf(bw, "        timing_sense : %s;\n", arc.Sense)
+		}
+		writeLuTable(bw, l, "cell_rise", arc.Delay[Rise])
+		writeLuTable(bw, l, "rise_transition", arc.OutSlew[Rise])
+		writeLuTable(bw, l, "cell_fall", arc.Delay[Fall])
+		writeLuTable(bw, l, "fall_transition", arc.OutSlew[Fall])
+		fmt.Fprintf(bw, "      }\n")
+	}
+	fmt.Fprintf(bw, "    }\n")
+	fmt.Fprintf(bw, "  }\n")
+}
+
+func writeConstraint(bw *bufio.Writer, kind, clock string, valueNS float64) {
+	fmt.Fprintf(bw, "      timing () {\n")
+	fmt.Fprintf(bw, "        related_pin : \"%s\";\n", clock)
+	fmt.Fprintf(bw, "        timing_type : %s;\n", kind)
+	fmt.Fprintf(bw, "        rise_constraint (scalar) { values (\"%.6g\"); }\n", valueNS)
+	fmt.Fprintf(bw, "        fall_constraint (scalar) { values (\"%.6g\"); }\n", valueNS)
+	fmt.Fprintf(bw, "      }\n")
+}
+
+func writeLuTable(bw *bufio.Writer, l *Library, kind string, t *Table) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(bw, "        %s (delay_%dx%d) {\n", kind, len(l.Slews), len(l.Loads))
+	fmt.Fprintf(bw, "          values ( \\\n")
+	for i, row := range t.Values {
+		vals := make([]string, len(row))
+		for j, v := range row {
+			vals[j] = fmt.Sprintf("%.6g", v*1e9)
+		}
+		sep := ", \\"
+		if i == len(t.Values)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(bw, "            \"%s\"%s\n", strings.Join(vals, ", "), sep)
+	}
+	fmt.Fprintf(bw, "          );\n")
+	fmt.Fprintf(bw, "        }\n")
+}

@@ -1,0 +1,54 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLibertySyntax(t *testing.T) {
+	l := testLibrary()
+	var buf bytes.Buffer
+	if err := WriteLiberty(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"library (test)",
+		"delay_model : table_lookup;",
+		"lu_table_template (delay_2x2)",
+		"variable_1 : input_net_transition;",
+		"cell (NAND2_X1)",
+		"pin (A1)",
+		"direction : input;",
+		"timing_sense : negative_unate;",
+		"cell_rise (delay_2x2)",
+		"rise_transition (delay_2x2)",
+		"cell (DFF_X1)",
+		"clocked_on : \"CK\";",
+		"timing_type : rising_edge;",
+		"timing_type : setup_rising;",
+		"clock : true;",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("liberty output missing %q", want)
+		}
+	}
+	// Balanced braces.
+	if o, c := strings.Count(text, "{"), strings.Count(text, "}"); o != c {
+		t.Errorf("unbalanced braces: %d vs %d", o, c)
+	}
+	// Axes in library units: 5ps -> 0.005 ns; 0.5fF -> 0.0005 pF.
+	if !strings.Contains(text, "index_1 (\"0.005, 0.05\");") {
+		t.Error("slew axis not converted to ns")
+	}
+	if !strings.Contains(text, "index_2 (\"0.0005, 0.002\");") {
+		t.Error("load axis not converted to pF")
+	}
+}
+
+func TestSanitizeLib(t *testing.T) {
+	if got := sanitizeLib("aged_y10.0_1.0_1.0"); got != "aged_y10_0_1_0_1_0" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

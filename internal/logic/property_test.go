@@ -1,0 +1,113 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBooleanIdentities checks algebraic identities of the AIG builders on
+// random bit-parallel vectors.
+func TestBooleanIdentities(t *testing.T) {
+	a := New()
+	x := a.Input("x")
+	y := a.Input("y")
+	z := a.Input("z")
+	// De Morgan.
+	a.AddOutput("dm1", a.Nand(x, y))
+	a.AddOutput("dm2", a.Or(x.Not(), y.Not()))
+	// Distribution.
+	a.AddOutput("ds1", a.And(x, a.Or(y, z)))
+	a.AddOutput("ds2", a.Or(a.And(x, y), a.And(x, z)))
+	// Xor via mux.
+	a.AddOutput("xm1", a.Xor(x, y))
+	a.AddOutput("xm2", a.Mux(x, y.Not(), y))
+	// Majority symmetry.
+	a.AddOutput("mj1", a.Maj(x, y, z))
+	a.AddOutput("mj2", a.Maj(z, x, y))
+
+	f := func(xv, yv, zv uint64) bool {
+		out, _ := a.Eval64([]uint64{xv, yv, zv}, nil)
+		return out[0] == out[1] && out[2] == out[3] && out[4] == out[5] && out[6] == out[7]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomExpressionEquivalence builds a random expression twice — once
+// directly and once through double negation of every intermediate — and
+// checks both evaluate identically (structural hashing must not alter
+// semantics).
+func TestRandomExpressionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		a := New()
+		const nin = 5
+		var leaves []Lit
+		for i := 0; i < nin; i++ {
+			leaves = append(leaves, a.Input(string(rune('a'+i))))
+		}
+		pool1 := append([]Lit(nil), leaves...)
+		pool2 := append([]Lit(nil), leaves...)
+		ops := rng.Intn(30) + 5
+		for k := 0; k < ops; k++ {
+			i, j := rng.Intn(len(pool1)), rng.Intn(len(pool1))
+			op := rng.Intn(4)
+			var n1, n2 Lit
+			switch op {
+			case 0:
+				n1 = a.And(pool1[i], pool1[j])
+				n2 = a.And(pool2[i].Not().Not(), pool2[j])
+			case 1:
+				n1 = a.Or(pool1[i], pool1[j])
+				n2 = a.Nand(pool2[i].Not(), pool2[j].Not())
+			case 2:
+				n1 = a.Xor(pool1[i], pool1[j])
+				n2 = a.Xnor(pool2[i], pool2[j]).Not()
+			default:
+				n1 = a.Mux(pool1[i], pool1[j], pool1[(i+j)%len(pool1)])
+				n2 = a.Mux(pool2[i].Not(), pool2[(i+j)%len(pool2)], pool2[j])
+			}
+			pool1 = append(pool1, n1)
+			pool2 = append(pool2, n2)
+		}
+		a.AddOutput("o1", pool1[len(pool1)-1])
+		a.AddOutput("o2", pool2[len(pool2)-1])
+		in := make([]uint64, nin)
+		for v := 0; v < 8; v++ {
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			out, _ := a.Eval64(in, nil)
+			if out[0] != out[1] {
+				t.Fatalf("trial %d: equivalent constructions diverge", trial)
+			}
+		}
+	}
+}
+
+// TestTopologicalInvariant: every AND node's fanins have smaller indexes.
+func TestTopologicalInvariant(t *testing.T) {
+	a := New()
+	x := a.Input("x")
+	y := a.Input("y")
+	cur := x
+	for i := 0; i < 50; i++ {
+		cur = a.And(cur, y.NotIf(i%2 == 0))
+		cur = a.Xor(cur, x)
+	}
+	a.AddOutput("o", cur)
+	for node := uint32(1); node < uint32(a.NumNodes()); node++ {
+		if a.IsInput(Lit(node << 1)) {
+			continue
+		}
+		f0, f1 := a.Fanins(node)
+		if f0.Node() >= node || f1.Node() >= node {
+			t.Fatalf("node %d references later node", node)
+		}
+		if lv := a.Level(Lit(node << 1)); lv <= 0 {
+			t.Fatalf("AND node %d has level %d", node, lv)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/liberty"
+)
+
+// Lambdas holds workload-derived duty cycles for one instance: the average
+// stress fractions of its pMOS and nMOS transistors (paper Sec. 4.2). In
+// static CMOS both device types share the input signals, so
+// lambdaP ~= 1 - lambdaN per cell.
+type Lambdas struct {
+	P, N float64
+}
+
+// Annotate returns a copy of the netlist in which every instance's cell
+// name carries the duty-cycle indexes the paper uses for the complete
+// degradation-aware library: e.g. an AND2_X1 instance whose workload gives
+// Avg(lambdaP)=0.4, Avg(lambdaN)=0.6 becomes AND2_X1_0.4_0.6. Duty cycles
+// are snapped to the library's 0.1 grid. Instances missing from the map
+// are annotated with worst-case stress (1.0, 1.0).
+func (n *Netlist) Annotate(lambdas map[string]Lambdas) *Netlist {
+	out := n.Clone()
+	out.Name = n.Name + "_annotated"
+	for _, in := range out.Insts {
+		l, ok := lambdas[in.Name]
+		if !ok {
+			l = Lambdas{P: 1, N: 1}
+		}
+		in.Cell = liberty.IndexedName(in.Cell,
+			aging.SnapLambda(l.P), aging.SnapLambda(l.N))
+	}
+	return out
+}
+
+// AnnotatedScenarios lists the distinct (lambdaP, lambdaN) pairs an
+// annotated netlist references, as scenarios of the given base stress.
+// Characterizing exactly these scenarios suffices to time the netlist
+// against the merged library.
+func AnnotatedScenarios(n *Netlist, base aging.Scenario) ([]aging.Scenario, error) {
+	seen := map[string]aging.Scenario{}
+	for _, in := range n.Insts {
+		lp, ln, _, err := SplitAnnotated(in.Cell)
+		if err != nil {
+			return nil, err
+		}
+		s := base.WithLambda(lp, ln)
+		seen[s.Key()] = s
+	}
+	out := make([]aging.Scenario, 0, len(seen))
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SplitAnnotated decomposes an annotated cell name into duty cycles and
+// the plain cell name, e.g. "AND2_X1_0.4_0.6" -> (0.4, 0.6, "AND2_X1").
+func SplitAnnotated(cell string) (lp, ln float64, plain string, err error) {
+	parts := strings.Split(cell, "_")
+	if len(parts) < 3 {
+		return 0, 0, "", fmt.Errorf("netlist: %q is not lambda-annotated", cell)
+	}
+	if _, e := fmt.Sscanf(parts[len(parts)-2]+" "+parts[len(parts)-1], "%f %f", &lp, &ln); e != nil {
+		return 0, 0, "", fmt.Errorf("netlist: %q is not lambda-annotated", cell)
+	}
+	plain = strings.Join(parts[:len(parts)-2], "_")
+	return lp, ln, plain, nil
+}

@@ -1,0 +1,75 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func seqSample() *Netlist {
+	n := New("top")
+	n.Inputs = []string{"a", "b[0]"}
+	n.Outputs = []string{"y"}
+	n.AddInst("g1", "NAND2_X1", map[string]string{"A1": "a", "A2": "b[0]", "ZN": "n1"})
+	n.AddInst("r1", "DFF_X1", map[string]string{"D": "n1", "CK": ClockNet, "Q": "y"})
+	return n
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	n := seqSample()
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"module top", "input clk;", "output y;", "endmodule", "NAND2_X1 g1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("verilog missing %q:\n%s", want, text)
+		}
+	}
+	got, err := ReadVerilog(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "top" || len(got.Insts) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Insts[0].Pins["A2"] != "b[0]" {
+		t.Errorf("escaped bus net lost: %q", got.Insts[0].Pins["A2"])
+	}
+	if len(got.Inputs) != 2 || len(got.Outputs) != 1 {
+		t.Errorf("ports: in=%v out=%v", got.Inputs, got.Outputs)
+	}
+	if err := got.Check(look); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerilogEscapedIdentifiers(t *testing.T) {
+	if vname("abc") != "abc" || vname("a_b1") != "a_b1" {
+		t.Error("simple names must not be escaped")
+	}
+	if vname("x[3]") != "\\x[3] " {
+		t.Errorf("bus bit escape = %q", vname("x[3]"))
+	}
+	if vname("1bad") != "\\1bad " {
+		t.Error("leading digit must be escaped")
+	}
+	if unvname("\\x[3] ") != "x[3]" {
+		t.Error("unescape failed")
+	}
+}
+
+func TestReadVerilogRejectsPositional(t *testing.T) {
+	src := "module m (a, y);\ninput a;\noutput y;\nINV_X1 g (a, y);\nendmodule\n"
+	if _, err := ReadVerilog(strings.NewReader(src)); err == nil {
+		t.Error("positional connections should be rejected")
+	}
+}
+
+func TestSplitTop(t *testing.T) {
+	got := splitTop(".A(n1), .B(f(x)), .C(y)")
+	if len(got) != 3 {
+		t.Fatalf("splitTop = %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+package rtl
+
+import "ageguard/internal/logic"
+
+// This file extends the arithmetic library with the alternative datapath
+// structures real designs mix in: radix-4 Booth multipliers (fewer partial
+// products, different path shape than the CSA array), carry-select adders
+// (the classic delay/area trade between ripple and prefix), and an LFSR
+// used as a deterministic workload generator for the dynamic aging-stress
+// flow.
+
+// MulBooth returns the len(x)+len(y)-bit signed product using radix-4
+// Booth recoding: roughly half the partial products of the schoolbook
+// array, each selected from {0, ±x, ±2x} by a 3-bit window of y.
+func (b *Builder) MulBooth(x, y Bus) Bus {
+	n, m := len(x), len(y)
+	w := n + m
+	xw := b.Resize(x, w)
+	negX := b.Neg(xw)
+	x2 := b.ShiftLeftConst(xw, 1)
+	negX2 := b.Neg(x2)
+	zero := b.Const(0, w)
+
+	var rows []Bus
+	for j := 0; j < m; j += 2 {
+		// Booth window bits: y[j-1], y[j], y[j+1] (y[-1] = 0).
+		lo := logic.False
+		if j > 0 {
+			lo = y[j-1]
+		}
+		mid := y[j]
+		hi := lo // placeholder replaced below
+		if j+1 < m {
+			hi = y[j+1]
+		} else {
+			hi = y[m-1] // sign extension of the multiplier
+		}
+		// Recode: value = -2*hi + mid + lo in {-2,-1,0,1,2}.
+		// one  <=> mid XOR lo
+		// two  <=> hi & !mid & !lo  (select 2x)  or !hi & mid & lo (sel +2x)
+		one := b.A.Xor(mid, lo)
+		twoNeg := b.A.And(hi, b.A.And(mid.Not(), lo.Not()))
+		twoPos := b.A.And(hi.Not(), b.A.And(mid, lo))
+		neg := hi
+
+		pp := b.Mux2(one, b.Mux2(neg, negX, xw), zero)
+		pp = b.Mux2(twoPos, x2, pp)
+		pp = b.Mux2(twoNeg, negX2, pp)
+		rows = append(rows, b.ShiftLeftConst(pp, j))
+	}
+	// Carry-save reduce then final add (same reducer as MulCSA).
+	for len(rows) > 2 {
+		var next []Bus
+		for i := 0; i+2 < len(rows); i += 3 {
+			s := make(Bus, w)
+			c := make(Bus, w)
+			c[0] = logic.False
+			for k := 0; k < w; k++ {
+				sum, carry := b.fullAdder(rows[i][k], rows[i+1][k], rows[i+2][k])
+				s[k] = sum
+				if k+1 < w {
+					c[k+1] = carry
+				}
+			}
+			next = append(next, s, c)
+		}
+		rem := len(rows) % 3
+		next = append(next, rows[len(rows)-rem:]...)
+		rows = next
+	}
+	if len(rows) == 1 {
+		return rows[0]
+	}
+	out, _ := b.Add(rows[0], rows[1], logic.False)
+	return out
+}
+
+// AddCarrySelect returns x + y + cin using a carry-select structure with
+// the given block size: each block is computed twice (carry 0 and 1) and
+// the real block carry selects the result — log-ish depth at ~2x ripple
+// area, the intermediate point between Add and AddFast.
+func (b *Builder) AddCarrySelect(x, y Bus, cin logic.Lit, block int) (Bus, logic.Lit) {
+	if len(x) != len(y) {
+		panic("rtl: width mismatch")
+	}
+	if block < 1 {
+		block = 4
+	}
+	n := len(x)
+	out := make(Bus, n)
+	carry := cin
+	for base := 0; base < n; base += block {
+		end := min(base+block, n)
+		xs, ys := x[base:end], y[base:end]
+		s0, c0 := b.Add(xs, ys, logic.False)
+		s1, c1 := b.Add(xs, ys, logic.True)
+		for i := range s0 {
+			out[base+i] = b.A.Mux(carry, s1[i], s0[i])
+		}
+		carry = b.A.Mux(carry, c1, c0)
+	}
+	return out, carry
+}
+
+// LFSR builds a Galois linear-feedback shift register as a *sequential
+// netlist stimulus generator in software*: it returns a step function
+// producing the register's successive states. Used to generate
+// deterministic pseudo-random workloads for the dynamic aging-stress
+// analysis without importing math/rand into circuit code.
+func LFSR(width int, seed uint64) func() uint64 {
+	if width < 2 || width > 64 {
+		panic("rtl: LFSR width out of range")
+	}
+	// Taps for maximal-length sequences (Xilinx app note table), indexed
+	// by a few common widths; other widths fall back to a decent pair.
+	taps := map[int]uint64{
+		8:  0xB8,
+		16: 0xB400,
+		24: 0xE10000,
+		32: 0xA3000000,
+		48: 0xC00000400000,
+		64: 0xD800000000000000,
+	}
+	mask := ^uint64(0) >> uint(64-width)
+	tap, ok := taps[width]
+	if !ok {
+		tap = (1 << uint(width-1)) | (1 << uint(width-3)) | 1<<1 | 1
+	}
+	state := seed & mask
+	if state == 0 {
+		state = 1
+	}
+	return func() uint64 {
+		out := state
+		lsb := state & 1
+		state >>= 1
+		if lsb == 1 {
+			state ^= tap & mask
+		}
+		return out
+	}
+}
+
+// WorkloadStimulus adapts an LFSR into the map-based stimulus the
+// gate-level simulator consumes: each primary input gets an independent
+// stream derived from one generator.
+func WorkloadStimulus(inputs []string, seed uint64) func(step int) map[string]uint64 {
+	gens := make(map[string]func() uint64, len(inputs))
+	for i, in := range inputs {
+		gens[in] = LFSR(48, seed+uint64(i)*0x9E3779B97F4A7C15+1)
+	}
+	return func(int) map[string]uint64 {
+		out := make(map[string]uint64, len(inputs))
+		for in, g := range gens {
+			// Two 48-bit draws concatenated give 64 dense bits.
+			out[in] = g() ^ g()<<16
+		}
+		return out
+	}
+}

@@ -1,0 +1,163 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"ageguard/internal/device"
+	"ageguard/internal/units"
+)
+
+// nand2 wires a CMOS NAND2 with the given device degradations.
+func nand2(load float64, degP, degN func(device.Params) device.Params) (*Circuit, NodeID, NodeID, NodeID) {
+	tech := device.Default45()
+	c := New(vdd)
+	a := c.Node("a")
+	b := c.Node("b")
+	out := c.Node("out")
+	mid := c.Node("mid")
+	nm1 := degN(tech.Transistor(device.NMOS, 400*units.Nm))
+	nm2 := degN(tech.Transistor(device.NMOS, 400*units.Nm))
+	pm1 := degP(tech.Transistor(device.PMOS, 800*units.Nm))
+	pm2 := degP(tech.Transistor(device.PMOS, 800*units.Nm))
+	c.MOS(nm1, out, a, mid)
+	c.MOS(nm2, mid, b, c.Gnd())
+	c.MOS(pm1, out, a, c.Vdd())
+	c.MOS(pm2, out, b, c.Vdd())
+	c.C(out, c.Gnd(), load)
+	return c, a, b, out
+}
+
+func ident(p device.Params) device.Params { return p }
+
+// nandRiseDelay measures the output-rise delay for an input fall on pin a
+// with b held high, at the given input slew.
+func nandRiseDelay(t *testing.T, slew, load float64, degP, degN func(device.Params) device.Params) float64 {
+	t.Helper()
+	c, a, b, out := nand2(load, degP, degN)
+	c.Drive(b, DC(vdd))
+	t0 := 200 * units.Ps
+	c.Drive(a, Ramp{T0: t0, Slew: slew, V0: vdd, V1: 0})
+	res, err := c.Run(t0+slew+3*units.Ns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tout, ok := res.Cross(out, vdd/2, true, t0)
+	if !ok {
+		t.Fatal("no output rise")
+	}
+	return tout - (t0 + slew/2)
+}
+
+// TestContentionAmplifiesAging verifies, at the raw simulator level, the
+// paper's central physical claim: the *relative* aging impact on a NAND's
+// rise delay grows strongly with input slew because the slow ramp keeps
+// the pull-down network conducting while the weakened pull-up fights it.
+func TestContentionAmplifiesAging(t *testing.T) {
+	degP := func(p device.Params) device.Params { return p.Degrade(0.065, 0.89) }
+	degN := func(p device.Params) device.Params { return p.Degrade(0.031, 0.99) }
+	load := 1 * units.FF
+	rel := func(slew float64) float64 {
+		fresh := nandRiseDelay(t, slew, load, ident, ident)
+		aged := nandRiseDelay(t, slew, load, degP, degN)
+		return (aged - fresh) / fresh
+	}
+	fast := rel(10 * units.Ps)
+	slow := rel(500 * units.Ps)
+	if slow < 2*fast {
+		t.Errorf("slow-slew aging impact %.1f%% not much larger than fast %.1f%%",
+			slow*100, fast*100)
+	}
+	if fast < 0.03 || fast > 0.5 {
+		t.Errorf("fast-slew aging impact %.1f%% implausible", fast*100)
+	}
+}
+
+// TestShortCircuitCurrentExists checks that during a slow input ramp both
+// networks conduct: the output waveform dips/settles rather than switching
+// rail-to-rail instantaneously, which is the mechanism behind the
+// contention effects.
+func TestShortCircuitCurrentExists(t *testing.T) {
+	c, a, b, out := nand2(0.5*units.FF, ident, ident)
+	c.Drive(b, DC(vdd))
+	t0 := 100 * units.Ps
+	slew := 900 * units.Ps
+	c.Drive(a, Ramp{T0: t0, Slew: slew, V0: vdd, V1: 0})
+	res, err := c.Run(t0+slew+1*units.Ns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output must cross mid-rail while the input is still ramping:
+	// during that interval both networks conduct (ratioed contention).
+	tc, ok := res.Cross(out, vdd/2, true, t0)
+	if !ok {
+		t.Fatal("output never rose")
+	}
+	if tc >= t0+slew {
+		t.Errorf("output crossed only after the ramp ended: no overlap window")
+	}
+	// And at the crossing instant the input is far from the rails.
+	vin := res.At(a, tc)
+	if vin < 0.1*vdd || vin > 0.9*vdd {
+		t.Errorf("input at crossing = %.3fV: networks not simultaneously on", vin)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	o.fill(1e-9)
+	if math.Abs(o.MaxStep-5e-12) > 1e-18 || o.MinStep <= 0 || o.DVTarget != 0.03 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := Options{MaxStep: 1e-12, MinStep: 1e-15, DVTarget: 0.01}
+	o2.fill(1e-9)
+	if o2.MaxStep != 1e-12 || o2.MinStep != 1e-15 || o2.DVTarget != 0.01 {
+		t.Error("explicit options overridden")
+	}
+}
+
+func TestInitVRespected(t *testing.T) {
+	// A floating node (only gmin to ground) holds its initial voltage for
+	// a short run.
+	c := New(vdd)
+	n := c.Node("fl")
+	c.C(n, c.Gnd(), 1*units.FF)
+	res, err := c.Run(10*units.Ps, Options{
+		InitV: func(name string) (float64, bool) {
+			if name == "fl" {
+				return 0.7, true
+			}
+			return 0, false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Final(n); math.Abs(v-0.7) > 0.01 {
+		t.Errorf("InitV ignored: %v", v)
+	}
+}
+
+func TestNodeNames(t *testing.T) {
+	c := New(vdd)
+	n := c.Node("foo")
+	if c.NodeName(n) != "foo" || c.NodeName(c.Gnd()) != "gnd" || c.NodeName(c.Vdd()) != "vdd" {
+		t.Error("node names wrong")
+	}
+	if c.Supply() != vdd {
+		t.Error("supply wrong")
+	}
+	if c.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestZeroCapIgnored(t *testing.T) {
+	c := New(vdd)
+	n := c.Node("x")
+	c.C(n, c.Gnd(), 0)
+	c.C(n, c.Gnd(), -1)
+	if len(c.caps) != 0 {
+		t.Error("non-positive caps should be ignored")
+	}
+}

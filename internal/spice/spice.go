@@ -1,0 +1,580 @@
+// Package spice implements a compact transistor-level transient circuit
+// simulator — the reproduction's substitute for HSPICE in the paper's
+// library-characterization flow (Fig. 4a).
+//
+// It performs nodal analysis with Backward-Euler integration and damped
+// Newton-Raphson solution of the nonlinear system at each time step.
+// Supported elements are MOSFETs (package device), capacitors, resistors
+// and driven voltage nodes with arbitrary waveforms. Circuits of interest
+// are standard cells (4-30 transistors, <25 nodes), so a dense LU solver
+// is used.
+//
+// Crucially for the paper's argument, the simulator resolves contention
+// (short-circuit) currents between partially-on pull-up and pull-down
+// networks during slow input ramps. This is the physical mechanism that
+// makes the delay impact of BTI depend on the operating conditions (input
+// slew, output load) of each gate, and it emerges here from the device
+// equations rather than being modelled explicitly.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ageguard/internal/device"
+	"ageguard/internal/units"
+)
+
+// NodeID identifies a circuit node. The zero value is the ground node of
+// the circuit that created it.
+type NodeID int
+
+type nodeKind int
+
+const (
+	kindFree nodeKind = iota
+	kindGround
+	kindSupply
+	kindDriven
+)
+
+type node struct {
+	name string
+	kind nodeKind
+	wave Waveform // for kindDriven
+	idx  int      // unknown index for kindFree, else -1
+}
+
+type mosInst struct {
+	p       device.Params
+	d, g, s NodeID
+}
+
+type capInst struct {
+	a, b NodeID
+	c    float64
+}
+
+type resInst struct {
+	a, b NodeID
+	g    float64 // conductance
+}
+
+// Circuit is a device-level circuit under construction. Create with New,
+// add elements, then call Run.
+type Circuit struct {
+	vdd   float64
+	nodes []node
+	mos   []mosInst
+	caps  []capInst
+	res   []resInst
+}
+
+// New returns an empty circuit with ground (NodeID 0) and a supply node
+// (NodeID 1) fixed at vdd volts.
+func New(vdd float64) *Circuit {
+	return &Circuit{
+		vdd: vdd,
+		nodes: []node{
+			{name: "gnd", kind: kindGround, idx: -1},
+			{name: "vdd", kind: kindSupply, idx: -1},
+		},
+	}
+}
+
+// Gnd returns the ground node.
+func (c *Circuit) Gnd() NodeID { return 0 }
+
+// Vdd returns the supply node.
+func (c *Circuit) Vdd() NodeID { return 1 }
+
+// Supply returns the supply voltage the circuit was created with.
+func (c *Circuit) Supply() float64 { return c.vdd }
+
+// Node creates a new free (solved-for) node with the given name.
+func (c *Circuit) Node(name string) NodeID {
+	c.nodes = append(c.nodes, node{name: name, kind: kindFree, idx: -1})
+	return NodeID(len(c.nodes) - 1)
+}
+
+// NodeName returns the name given to n at creation.
+func (c *Circuit) NodeName(n NodeID) string { return c.nodes[n].name }
+
+// NumNodes returns the total node count including ground and supply.
+func (c *Circuit) NumNodes() int { return len(c.nodes) }
+
+// Drive converts node n into a driven node following waveform w.
+// Driving ground or supply is an error surfaced at Run time.
+func (c *Circuit) Drive(n NodeID, w Waveform) {
+	c.nodes[n].kind = kindDriven
+	c.nodes[n].wave = w
+}
+
+// Input creates a new driven node with the given waveform.
+func (c *Circuit) Input(name string, w Waveform) NodeID {
+	n := c.Node(name)
+	c.Drive(n, w)
+	return n
+}
+
+// MOS adds a MOSFET with the given parameters between drain d, gate g and
+// source s. The device's gate and drain parasitic capacitances are added
+// automatically (gate-to-ground and drain-to-ground lumps).
+func (c *Circuit) MOS(p device.Params, d, g, s NodeID) {
+	c.mos = append(c.mos, mosInst{p: p, d: d, g: g, s: s})
+	if p.CGate > 0 {
+		c.C(g, c.Gnd(), p.CGate)
+	}
+	if p.CDrain > 0 {
+		c.C(d, c.Gnd(), p.CDrain)
+		// Source diffusion contributes a comparable junction cap.
+		c.C(s, c.Gnd(), p.CDrain)
+	}
+}
+
+// C adds a capacitor of value farads between nodes a and b.
+func (c *Circuit) C(a, b NodeID, farads float64) {
+	if farads <= 0 {
+		return
+	}
+	c.caps = append(c.caps, capInst{a: a, b: b, c: farads})
+}
+
+// R adds a resistor of value ohms between nodes a and b.
+func (c *Circuit) R(a, b NodeID, ohms float64) {
+	c.res = append(c.res, resInst{a: a, b: b, g: 1 / ohms})
+}
+
+// Options tunes the transient analysis. The zero value selects defaults
+// suitable for standard-cell characterization.
+type Options struct {
+	MaxStep  float64 // largest time step [s]; default tstop/200
+	MinStep  float64 // smallest step before giving up [s]; default 1e-16
+	DVTarget float64 // per-step voltage change target [V]; default 0.03
+	InitV    func(name string) (float64, bool)
+	// InitV optionally provides initial voltages for free nodes by name;
+	// unspecified nodes start at 0 V.
+}
+
+func (o *Options) fill(tstop float64) {
+	if o.MaxStep == 0 {
+		o.MaxStep = tstop / 200
+	}
+	if o.MinStep == 0 {
+		o.MinStep = 1e-16
+	}
+	if o.DVTarget == 0 {
+		o.DVTarget = 0.03
+	}
+}
+
+// Result holds sampled waveforms for every node of a transient run.
+type Result struct {
+	c *Circuit
+	T []float64   // sample times, ascending
+	V [][]float64 // V[i][n] = voltage of node n at T[i]
+}
+
+// ErrNoConvergence is returned when Newton iteration fails even at the
+// minimum time step.
+var ErrNoConvergence = errors.New("spice: newton iteration did not converge")
+
+// Run performs a transient analysis from t=0 to tstop. The circuit is
+// first settled: a DC-like relaxation with all waveforms held at their
+// t=0 values, so feedback structures (latches) reach a consistent state
+// before time begins.
+func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
+	opts.fill(tstop)
+	nu := 0
+	for i := range c.nodes {
+		if c.nodes[i].kind == kindFree {
+			c.nodes[i].idx = nu
+			nu++
+		} else {
+			c.nodes[i].idx = -1
+		}
+	}
+	s := &solver{c: c, nu: nu, opts: opts}
+	s.init()
+	if err := s.settle(); err != nil {
+		return nil, err
+	}
+	res := &Result{c: c}
+	res.append(0, s.volts())
+	t, h := 0.0, opts.MaxStep/16
+	for t < tstop {
+		if t+h > tstop {
+			h = tstop - t
+		}
+		ok, dvmax := s.step(t+h, h)
+		switch {
+		case !ok:
+			h /= 4
+			if h < opts.MinStep {
+				return nil, fmt.Errorf("%w at t=%s", ErrNoConvergence, units.PsString(t))
+			}
+		case dvmax > 2*opts.DVTarget && h > 64*opts.MinStep:
+			s.reject()
+			h /= 2
+		default:
+			s.accept()
+			t += h
+			res.append(t, s.volts())
+			if dvmax < opts.DVTarget/4 {
+				h = math.Min(h*1.5, opts.MaxStep)
+			}
+		}
+	}
+	return res, nil
+}
+
+// solver holds per-run mutable state.
+type solver struct {
+	c    *Circuit
+	nu   int
+	opts Options
+
+	vPrev []float64 // committed node voltages (all nodes)
+	vCur  []float64 // trial node voltages (all nodes)
+	jac   [][]float64
+	rhs   []float64
+	dx    []float64
+	perm  []int
+}
+
+func (s *solver) init() {
+	n := len(s.c.nodes)
+	s.vPrev = make([]float64, n)
+	s.vCur = make([]float64, n)
+	s.jac = make([][]float64, s.nu)
+	for i := range s.jac {
+		s.jac[i] = make([]float64, s.nu)
+	}
+	s.rhs = make([]float64, s.nu)
+	s.dx = make([]float64, s.nu)
+	s.perm = make([]int, s.nu)
+	for i, nd := range s.c.nodes {
+		switch nd.kind {
+		case kindGround:
+			s.vPrev[i] = 0
+		case kindSupply:
+			s.vPrev[i] = s.c.vdd
+		case kindDriven:
+			s.vPrev[i] = nd.wave.At(0)
+		default:
+			if s.opts.InitV != nil {
+				if v, ok := s.opts.InitV(nd.name); ok {
+					s.vPrev[i] = v
+				}
+			}
+		}
+	}
+	copy(s.vCur, s.vPrev)
+}
+
+// settle relaxes the circuit at t=0 by taking a sequence of large backward
+// Euler steps with frozen inputs until the state stops changing.
+func (s *solver) settle() error {
+	const settleStep = 50 * units.Ps
+	for iter := 0; iter < 400; iter++ {
+		ok, dv := s.step(0, settleStep)
+		if !ok {
+			// Retry with a smaller pseudo-step; latches starting from
+			// all-zero may need gentler relaxation.
+			if ok2, _ := s.step(0, settleStep/100); !ok2 {
+				return fmt.Errorf("%w during DC settle", ErrNoConvergence)
+			}
+		}
+		s.accept()
+		if ok && dv < 1e-7 {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: DC settle did not stabilize", ErrNoConvergence)
+}
+
+func (s *solver) volts() []float64 {
+	v := make([]float64, len(s.vPrev))
+	copy(v, s.vPrev)
+	return v
+}
+
+func (s *solver) accept() { copy(s.vPrev, s.vCur) }
+func (s *solver) reject() { copy(s.vCur, s.vPrev) }
+
+// step attempts one backward-Euler step to absolute time t with step h.
+// It returns whether Newton converged and the largest node-voltage change
+// relative to the previous committed state.
+func (s *solver) step(t, h float64) (bool, float64) {
+	c := s.c
+	// Fixed (non-free) node voltages at the new time.
+	for i, nd := range c.nodes {
+		switch nd.kind {
+		case kindGround:
+			s.vCur[i] = 0
+		case kindSupply:
+			s.vCur[i] = c.vdd
+		case kindDriven:
+			s.vCur[i] = nd.wave.At(t)
+		default:
+			s.vCur[i] = s.vPrev[i] // initial guess: previous value
+		}
+	}
+	const maxIter = 40
+	for iter := 0; iter < maxIter; iter++ {
+		s.assemble(h)
+		if !s.luSolve() {
+			return false, 0
+		}
+		var dmax float64
+		for i, nd := range c.nodes {
+			if nd.idx < 0 {
+				continue
+			}
+			d := s.dx[nd.idx]
+			// Voltage limiting stabilizes Newton on stiff MOS curves.
+			d = units.Clamp(d, -0.4, 0.4)
+			s.vCur[i] += d
+			if a := math.Abs(d); a > dmax {
+				dmax = a
+			}
+		}
+		if dmax < 1e-7 {
+			var dv float64
+			for i := range s.vCur {
+				if a := math.Abs(s.vCur[i] - s.vPrev[i]); a > dv {
+					dv = a
+				}
+			}
+			return true, dv
+		}
+	}
+	return false, 0
+}
+
+// assemble builds the Newton system J*dx = -F at the current trial point.
+// F_i is the sum of currents leaving free node i. The Jacobian for MOS
+// devices is computed by finite differences; caps and resistors are
+// stamped analytically.
+func (s *solver) assemble(h float64) {
+	for i := range s.rhs {
+		s.rhs[i] = 0
+		row := s.jac[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	nodes := s.c.nodes
+	idx := func(n NodeID) int { return nodes[n].idx }
+
+	// gmin to ground keeps isolated nodes well-conditioned.
+	const gmin = 1e-12
+	for i, nd := range nodes {
+		if nd.idx >= 0 {
+			s.rhs[nd.idx] -= gmin * s.vCur[i]
+			s.jac[nd.idx][nd.idx] += gmin
+		}
+	}
+
+	for _, r := range s.c.res {
+		va, vb := s.vCur[r.a], s.vCur[r.b]
+		i := r.g * (va - vb)
+		ia, ib := idx(r.a), idx(r.b)
+		if ia >= 0 {
+			s.rhs[ia] -= i
+			s.jac[ia][ia] += r.g
+			if ib >= 0 {
+				s.jac[ia][ib] -= r.g
+			}
+		}
+		if ib >= 0 {
+			s.rhs[ib] += i
+			s.jac[ib][ib] += r.g
+			if ia >= 0 {
+				s.jac[ib][ia] -= r.g
+			}
+		}
+	}
+
+	for _, cp := range s.c.caps {
+		geq := cp.c / h
+		dv := (s.vCur[cp.a] - s.vCur[cp.b]) - (s.vPrev[cp.a] - s.vPrev[cp.b])
+		i := geq * dv
+		ia, ib := idx(cp.a), idx(cp.b)
+		if ia >= 0 {
+			s.rhs[ia] -= i
+			s.jac[ia][ia] += geq
+			if ib >= 0 {
+				s.jac[ia][ib] -= geq
+			}
+		}
+		if ib >= 0 {
+			s.rhs[ib] += i
+			s.jac[ib][ib] += geq
+			if ia >= 0 {
+				s.jac[ib][ia] -= geq
+			}
+		}
+	}
+
+	const fd = 1e-5 // finite-difference perturbation [V]
+	for _, m := range s.c.mos {
+		vd, vg, vs := s.vCur[m.d], s.vCur[m.g], s.vCur[m.s]
+		ids := m.p.Ids(vd, vg, vs)
+		id, ig, is := idx(m.d), idx(m.g), idx(m.s)
+		if id >= 0 {
+			s.rhs[id] -= ids
+		}
+		if is >= 0 {
+			s.rhs[is] += ids
+		}
+		// Conductances w.r.t. each touched free terminal voltage.
+		stamp := func(col int, dIds float64) {
+			if col < 0 {
+				return
+			}
+			if id >= 0 {
+				s.jac[id][col] += dIds
+			}
+			if is >= 0 {
+				s.jac[is][col] -= dIds
+			}
+		}
+		if id >= 0 || is >= 0 {
+			if id >= 0 {
+				stamp(id, (m.p.Ids(vd+fd, vg, vs)-ids)/fd)
+			}
+			if ig >= 0 {
+				stamp(ig, (m.p.Ids(vd, vg+fd, vs)-ids)/fd)
+			}
+			if is >= 0 {
+				stamp(is, (m.p.Ids(vd, vg, vs+fd)-ids)/fd)
+			}
+		}
+	}
+}
+
+// luSolve factorizes the assembled Jacobian in place (partial pivoting)
+// and solves for the Newton update dx. Returns false on singularity.
+func (s *solver) luSolve() bool {
+	n := s.nu
+	a := s.jac
+	b := s.rhs
+	p := s.perm
+	for i := range p {
+		p[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot.
+		piv, pmax := k, math.Abs(a[k][k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i][k]); v > pmax {
+				piv, pmax = i, v
+			}
+		}
+		if pmax < 1e-30 {
+			return false
+		}
+		if piv != k {
+			a[piv], a[k] = a[k], a[piv]
+			b[piv], b[k] = b[k], b[piv]
+		}
+		inv := 1 / a[k][k]
+		for i := k + 1; i < n; i++ {
+			f := a[i][k] * inv
+			if f == 0 {
+				continue
+			}
+			a[i][k] = 0
+			row, rk := a[i], a[k]
+			for j := k + 1; j < n; j++ {
+				row[j] -= f * rk[j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		x := b[i]
+		row := a[i]
+		for j := i + 1; j < n; j++ {
+			x -= row[j] * s.dx[j]
+		}
+		s.dx[i] = x / row[i]
+	}
+	return true
+}
+
+func (r *Result) append(t float64, v []float64) {
+	r.T = append(r.T, t)
+	r.V = append(r.V, v)
+}
+
+// At returns the voltage of node n at time t by linear interpolation.
+func (r *Result) At(n NodeID, t float64) float64 {
+	ts := r.T
+	if t <= ts[0] {
+		return r.V[0][n]
+	}
+	if t >= ts[len(ts)-1] {
+		return r.V[len(ts)-1][n]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, len(ts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ts[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (t - ts[lo]) / (ts[hi] - ts[lo])
+	return units.Lerp(r.V[lo][n], r.V[hi][n], f)
+}
+
+// Final returns the last sampled voltage of node n.
+func (r *Result) Final(n NodeID) float64 { return r.V[len(r.T)-1][n] }
+
+// Cross returns the first time after 'after' at which node n crosses
+// voltage v in the given direction (rising: from below to at-or-above).
+// ok is false if no crossing is found.
+func (r *Result) Cross(n NodeID, v float64, rising bool, after float64) (t float64, ok bool) {
+	for i := 1; i < len(r.T); i++ {
+		if r.T[i] < after {
+			continue
+		}
+		a, b := r.V[i-1][n], r.V[i][n]
+		if rising && a < v && b >= v || !rising && a > v && b <= v {
+			f := (v - a) / (b - a)
+			return units.Lerp(r.T[i-1], r.T[i], f), true
+		}
+	}
+	return 0, false
+}
+
+// Slew measures the 20%-80% transition time of node n (for the first
+// transition in the given direction after 'after'), scaled by 1/0.6 to a
+// full-swing-equivalent slew — the same convention used for input ramps,
+// so characterized output slews can be fed back as input slews.
+func (r *Result) Slew(n NodeID, vdd float64, rising bool, after float64) (float64, bool) {
+	lo, hi := 0.2*vdd, 0.8*vdd
+	var t1, t2 float64
+	var ok bool
+	if rising {
+		if t1, ok = r.Cross(n, lo, true, after); !ok {
+			return 0, false
+		}
+		if t2, ok = r.Cross(n, hi, true, t1); !ok {
+			return 0, false
+		}
+	} else {
+		if t1, ok = r.Cross(n, hi, false, after); !ok {
+			return 0, false
+		}
+		if t2, ok = r.Cross(n, lo, false, t1); !ok {
+			return 0, false
+		}
+	}
+	return (t2 - t1) / 0.6, true
+}

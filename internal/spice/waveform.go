@@ -1,0 +1,93 @@
+package spice
+
+import "ageguard/internal/units"
+
+// Waveform is a driven-node voltage as a function of time.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant voltage waveform.
+type DC float64
+
+// At returns the constant value.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Ramp is a single linear transition from V0 to V1 starting at T0.
+//
+// Slew is expressed in the library convention (20%-80% time divided by
+// 0.6); the full 0-100% ramp therefore takes exactly Slew seconds, making
+// characterized output slews directly reusable as input slews.
+type Ramp struct {
+	T0   float64 // transition start time [s]
+	Slew float64 // full-swing transition time [s]
+	V0   float64 // initial voltage [V]
+	V1   float64 // final voltage [V]
+}
+
+// At evaluates the ramp.
+func (r Ramp) At(t float64) float64 {
+	if t <= r.T0 {
+		return r.V0
+	}
+	if r.Slew <= 0 || t >= r.T0+r.Slew {
+		return r.V1
+	}
+	return units.Lerp(r.V0, r.V1, (t-r.T0)/r.Slew)
+}
+
+// PWL is a piecewise-linear waveform through the given (T[i], V[i]) points.
+// Before the first point it holds V[0]; after the last, V[len-1].
+type PWL struct {
+	T []float64
+	V []float64
+}
+
+// At evaluates the piecewise-linear waveform.
+func (p PWL) At(t float64) float64 {
+	if len(p.T) == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	for i := 1; i < len(p.T); i++ {
+		if t <= p.T[i] {
+			f := (t - p.T[i-1]) / (p.T[i] - p.T[i-1])
+			return units.Lerp(p.V[i-1], p.V[i], f)
+		}
+	}
+	return p.V[len(p.V)-1]
+}
+
+// Pulse is a periodic two-level waveform with linear edges, used as a
+// clock during sequential-cell characterization.
+type Pulse struct {
+	V0, V1 float64 // low and high levels [V]
+	Delay  float64 // time of the first leading edge [s]
+	Width  float64 // high time, measured edge-start to edge-start [s]
+	Period float64 // repetition period [s]
+	Slew   float64 // edge transition time [s]
+}
+
+// At evaluates the pulse train.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.V0
+	}
+	tc := t - p.Delay
+	if p.Period > 0 {
+		n := int(tc / p.Period)
+		tc -= float64(n) * p.Period
+	}
+	switch {
+	case tc < p.Slew:
+		return units.Lerp(p.V0, p.V1, tc/p.Slew)
+	case tc < p.Width:
+		return p.V1
+	case tc < p.Width+p.Slew:
+		return units.Lerp(p.V1, p.V0, (tc-p.Width)/p.Slew)
+	default:
+		return p.V0
+	}
+}

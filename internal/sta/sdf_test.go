@@ -1,0 +1,64 @@
+package sta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ageguard/internal/aging"
+)
+
+func TestWriteSDF(t *testing.T) {
+	l := lib(t, aging.Fresh())
+	nl := chain(2)
+	res, err := Analyze(nl, l, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSDF(&buf, nl, l, res, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"(DELAYFILE",
+		"(SDFVERSION \"3.0\")",
+		"(DESIGN \"chain\")",
+		"(TIMESCALE 1ps)",
+		"(CELLTYPE \"INV_X1\")",
+		"(INSTANCE inv0)",
+		"(IOPATH A ZN (",
+		"(CELLTYPE \"DFF_X1\")",
+		"(IOPATH (posedge CK) Q (",
+		"(SETUP D (posedge CK)",
+		"(HOLD D (posedge CK)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("SDF missing %q", want)
+		}
+	}
+	if o, c := strings.Count(text, "("), strings.Count(text, ")"); o != c {
+		t.Errorf("unbalanced parens: %d vs %d", o, c)
+	}
+	// Deterministic output: two writes must be identical.
+	var buf2 bytes.Buffer
+	if err := WriteSDF(&buf2, nl, l, res, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("SDF output not deterministic")
+	}
+	// The aged SDF must carry larger IOPATH values than the fresh one.
+	agedLib := lib(t, aging.WorstCase(10))
+	ares, err := Analyze(nl, agedLib, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var abuf bytes.Buffer
+	if err := WriteSDF(&abuf, nl, agedLib, ares, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if abuf.String() == buf.String() {
+		t.Error("aged SDF identical to fresh SDF")
+	}
+}

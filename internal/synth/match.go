@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"sort"
+
+	"ageguard/internal/cells"
+	"ageguard/internal/liberty"
+)
+
+// match is one way to implement a cut function with a library cell:
+// cell pin i connects to cut leaf perm[i], with leaves in complMask
+// entering complemented (their negative polarity is consumed).
+type match struct {
+	base     string // cell base name, e.g. "NAND2"
+	perm     []int  // perm[cellPin] = leafIndex
+	complMask uint
+	ninputs  int
+}
+
+// matchTable maps (leafCount, truth table) to candidate matches, built
+// once per library from the cell catalog's Boolean functions.
+type matchTable map[uint32][]match
+
+func matchKey(nLeaves int, tt uint16) uint32 {
+	return uint32(nLeaves)<<16 | uint32(tt&ttMask(nLeaves))
+}
+
+// buildMatchTable enumerates, for every combinational multi-input cell
+// base present in the library, all input permutations and complementation
+// masks, recording the resulting truth tables. INV/BUF/DFF are handled
+// specially by the mapper and excluded here.
+func buildMatchTable(lib *liberty.Library) matchTable {
+	mt := matchTable{}
+	seen := map[string]bool{}
+	for _, name := range lib.CellNames() {
+		ct := lib.Cells[name]
+		if ct.Seq || ct.Base == "INV" || ct.Base == "BUF" || seen[ct.Base] {
+			continue
+		}
+		seen[ct.Base] = true
+		cell, ok := cells.ByName(ct.Base + "_X1")
+		if !ok {
+			continue
+		}
+		k := cell.NumInputs()
+		if k > maxCutSize {
+			continue
+		}
+		tt := cell.TruthTable()
+		perms := permutations(k)
+		for _, p := range perms {
+			for mask := uint(0); mask < 1<<uint(k); mask++ {
+				// Truth table over leaves: leaf j carries bit j of the
+				// assignment; cell pin i sees leaf p[i], complemented when
+				// p[i] is in mask.
+				var out uint16
+				for a := 0; a < 1<<uint(k); a++ {
+					var bits uint
+					for i := 0; i < k; i++ {
+						v := uint(a) >> uint(p[i]) & 1
+						if mask>>uint(p[i])&1 == 1 {
+							v ^= 1
+						}
+						bits |= v << uint(i)
+					}
+					if tt>>bits&1 == 1 {
+						out |= 1 << uint(a)
+					}
+				}
+				key := matchKey(k, out)
+				mt[key] = append(mt[key], match{
+					base: ct.Base, perm: p, complMask: mask, ninputs: k,
+				})
+			}
+		}
+	}
+	// Prefer matches with fewer complemented leaves, then smaller cells.
+	for key, list := range mt {
+		sort.SliceStable(list, func(i, j int) bool {
+			bi, bj := popcount(list[i].complMask), popcount(list[j].complMask)
+			if bi != bj {
+				return bi < bj
+			}
+			return list[i].base < list[j].base
+		})
+		// Deduplicate identical (base, complMask) pairs differing only in
+		// permutation of symmetric pins.
+		var kept []match
+		seenKey := map[string]bool{}
+		for _, m := range list {
+			k := m.base + string(rune('0'+m.complMask))
+			if seenKey[k] {
+				continue
+			}
+			seenKey[k] = true
+			kept = append(kept, m)
+			if len(kept) == 6 {
+				break
+			}
+		}
+		mt[key] = kept
+	}
+	return mt
+}
+
+func popcount(x uint) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func permutations(k int) [][]int {
+	if k == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	var rec func(cur []int, used uint)
+	rec = func(cur []int, used uint) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < k; i++ {
+			if used>>uint(i)&1 == 0 {
+				rec(append(cur, i), used|1<<uint(i))
+			}
+		}
+	}
+	rec(nil, 0)
+	return out
+}

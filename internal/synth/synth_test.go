@@ -1,0 +1,296 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/char"
+	"ageguard/internal/gatesim"
+	"ageguard/internal/liberty"
+	"ageguard/internal/logic"
+	"ageguard/internal/netlist"
+	"ageguard/internal/rtl"
+	"ageguard/internal/sta"
+)
+
+// testLib characterizes (or loads from the repo cache) the full library
+// for a scenario.
+func testLib(t testing.TB, s aging.Scenario) *liberty.Library {
+	t.Helper()
+	cfg := char.CachedConfig()
+	lib, err := cfg.Characterize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// adder8 builds an 8-bit ripple adder AIG.
+func adder8() *logic.AIG {
+	b := rtl.NewBuilder()
+	x := b.Input("x", 8)
+	y := b.Input("y", 8)
+	s, c := b.Add(x, y, logic.False)
+	b.Output("s", s)
+	b.OutputBit("cout", c)
+	return b.A
+}
+
+// mixed builds a small network exercising XOR/MUX/AOI structures.
+func mixed() *logic.AIG {
+	b := rtl.NewBuilder()
+	x := b.Input("x", 4)
+	y := b.Input("y", 4)
+	sel := b.InputBit("sel")
+	xo := b.XorB(x, y)
+	an := b.AndB(x, b.Not(y))
+	m := b.Mux2(sel, xo, an)
+	b.Output("m", m)
+	b.OutputBit("eq", b.Eq(x, y))
+	b.OutputBit("lt", b.LtU(x, y))
+	return b.A
+}
+
+func TestTruthTableHelpers(t *testing.T) {
+	if expand(0b10, []uint32{5}, []uint32{3, 5}) != 0b1100 {
+		t.Errorf("expand wrong: %04b", expand(0b10, []uint32{5}, []uint32{3, 5}))
+	}
+	if m := mergeLeaves([]uint32{1, 3}, []uint32{2, 3}); len(m) != 3 {
+		t.Errorf("merge = %v", m)
+	}
+	if m := mergeLeaves([]uint32{1, 2, 3}, []uint32{4, 5}); m != nil {
+		t.Errorf("oversized merge should fail, got %v", m)
+	}
+	if ttMask(2) != 0xf || ttMask(4) != 0xffff {
+		t.Error("ttMask wrong")
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	if n := len(permutations(3)); n != 6 {
+		t.Errorf("3! = %d", n)
+	}
+	if n := len(permutations(4)); n != 24 {
+		t.Errorf("4! = %d", n)
+	}
+}
+
+func TestCutEnumeration(t *testing.T) {
+	a := logic.New()
+	x := a.Input("x")
+	y := a.Input("y")
+	z := a.Input("z")
+	n1 := a.And(x, y)
+	n2 := a.And(n1, z)
+	a.AddOutput("o", n2)
+	cuts := enumerateCuts(a)
+	// n2 must have a cut {x,y,z} with tt = x&y&z.
+	found := false
+	for _, c := range cuts[n2.Node()] {
+		if len(c.leaves) == 3 && c.tt == (0xAAAA&0xCCCC&0xF0F0&ttMask(3)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("3-input AND cut not enumerated")
+	}
+	// Every node keeps its trivial cut.
+	for node := uint32(1); node < uint32(a.NumNodes()); node++ {
+		last := cuts[node][len(cuts[node])-1]
+		if len(last.leaves) != 1 || last.leaves[0] != node {
+			t.Fatalf("node %d missing trivial cut", node)
+		}
+	}
+}
+
+// checkEquiv verifies mapped netlist vs AIG on random vectors.
+func checkEquiv(t *testing.T, a *logic.AIG, nl *netlist.Netlist, vectors int) {
+	t.Helper()
+	sim, err := gatesim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for v := 0; v < vectors; v++ {
+		in := make([]uint64, a.NumInputs())
+		inMap := map[string]uint64{}
+		for i := range in {
+			in[i] = rng.Uint64()
+			inMap[a.InputName(i)] = in[i]
+		}
+		want, _ := a.Eval64(in, nil)
+		got := sim.Eval(inMap)
+		for i, o := range a.Outputs() {
+			if got[o.Name] != want[i] {
+				t.Fatalf("output %s mismatch: got %x want %x", o.Name, got[o.Name], want[i])
+			}
+		}
+	}
+}
+
+func TestMapAdderEquivalence(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	a := adder8()
+	nl, err := Map(a, lib, "adder8", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Check(gatesim.CatalogLookup); err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, a, nl, 20)
+}
+
+func TestMapMixedEquivalence(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	a := mixed()
+	nl, err := Map(a, lib, "mixed", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, a, nl, 20)
+}
+
+func TestMapUsesVarietyOfCells(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	a := mixed()
+	nl, err := Map(a, lib, "mixed", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nl.ComputeStats(gatesim.CatalogLookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.CellCount) < 4 {
+		t.Errorf("mapper used only %d distinct cells: %v", len(st.CellCount), st.CellCount)
+	}
+}
+
+func TestWrapSequential(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	a := adder8()
+	nl, err := Map(a, lib, "adder8", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := WrapSequential(nl)
+	st, err := seq.ComputeStats(gatesim.CatalogLookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegs := len(nl.Inputs) + len(nl.Outputs)
+	if st.Seq != wantRegs {
+		t.Errorf("registers = %d, want %d", st.Seq, wantRegs)
+	}
+	if err := seq.Check(gatesim.CatalogLookup); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential behaviour: output appears two cycles after input
+	// (input register + output register).
+	sim, err := gatesim.New(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{}
+	setBus := func(name string, w int, v uint64) {
+		for i := 0; i < w; i++ {
+			bit := uint64(0)
+			if v>>uint(i)&1 == 1 {
+				bit = ^uint64(0)
+			}
+			in[busBit(name, i)] = bit
+		}
+	}
+	setBus("x", 8, 11)
+	setBus("y", 8, 31)
+	sim.Step(in) // capture inputs
+	out := sim.Step(in)
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		if out[busBit("s", i)]&1 == 1 {
+			got |= 1 << uint(i)
+		}
+	}
+	if got != 42 {
+		t.Errorf("pipelined sum = %d, want 42", got)
+	}
+}
+
+func busBit(name string, i int) string {
+	return name + "[" + string(rune('0'+i)) + "]"
+}
+
+func TestSynthesizeImprovesOrHoldsCP(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	a := adder8()
+	mapped, err := Map(a, lib, "adder8", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := WrapSequential(mapped)
+	base, err := sta.Analyze(seq, lib, sta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sized, err := SizeGates(seq, lib, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := sta.Analyze(sized, lib, sta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CP > base.CP {
+		t.Errorf("sizing worsened CP: %v -> %v", base.CP, after.CP)
+	}
+	// Equivalence must be preserved by sizing (cells swap within a base).
+	checkEquiv(t, a, sized, 10)
+}
+
+func TestSynthesizeFull(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	a := mixed()
+	nl, err := Synthesize(a, lib, "mixed", Config{Buffering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Check(gatesim.CatalogLookup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, a, nl, 10)
+}
+
+func TestAgedLibraryChangesMapping(t *testing.T) {
+	// The core premise of Sec. 4.3: handing the synthesis flow the
+	// degradation-aware library changes its cell choices.
+	fresh := testLib(t, aging.Fresh())
+	aged := testLib(t, aging.WorstCase(10))
+	a := rtl.GenFFT()
+	nlF, err := Synthesize(a, fresh, "fft_fresh", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlA, err := Synthesize(a, aged, "fft_aged", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stF, _ := nlF.ComputeStats(gatesim.CatalogLookup)
+	stA, _ := nlA.ComputeStats(gatesim.CatalogLookup)
+	same := true
+	for k, v := range stF.CellCount {
+		if stA.CellCount[k] != v {
+			same = false
+			break
+		}
+	}
+	if same && len(stF.CellCount) == len(stA.CellCount) {
+		t.Error("aged library produced an identical mapping; expected different cell choices")
+	}
+	// Both netlists must implement the same function.
+	checkEquiv(t, a, nlA, 5)
+}

@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"fmt"
+
+	"ageguard/internal/netlist"
+)
+
+// WrapSequential registers every primary input and output of a
+// combinational netlist with DFF cells on a single clock, producing the
+// pipeline-stage structure the paper's benchmarks are timed as: paths
+// launch at a flip-flop clock pin and are captured at a flip-flop data
+// pin, so the critical-path delay equals the minimum clock period.
+func WrapSequential(nl *netlist.Netlist) *netlist.Netlist {
+	out := nl.Clone()
+	out.Name = nl.Name
+
+	// Register inputs: PI -> DFF -> <pi>_r, rewiring all loads.
+	renamed := map[string]string{}
+	for _, pi := range out.Inputs {
+		renamed[pi] = pi + "_r"
+	}
+	for _, in := range out.Insts {
+		for pin, net := range in.Pins {
+			if r, ok := renamed[net]; ok {
+				in.Pins[pin] = r
+			}
+		}
+	}
+	for i, pi := range out.Inputs {
+		out.AddInst(fmt.Sprintf("reg_in_%d", i), "DFF_X1", map[string]string{
+			"D": pi, "CK": netlist.ClockNet, "Q": renamed[pi],
+		})
+	}
+
+	// Register outputs: driver -> <po>_c -> DFF -> PO.
+	for i, po := range out.Outputs {
+		comb := po + "_c"
+		for _, in := range out.Insts {
+			for pin, net := range in.Pins {
+				if net == po {
+					in.Pins[pin] = comb
+				}
+			}
+		}
+		out.AddInst(fmt.Sprintf("reg_out_%d", i), "DFF_X1", map[string]string{
+			"D": comb, "CK": netlist.ClockNet, "Q": po,
+		})
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"ageguard/internal/aging"
+	"ageguard/internal/char"
 	"ageguard/internal/core"
 	"ageguard/internal/image"
 	"ageguard/internal/liberty"
@@ -294,6 +295,56 @@ func BenchmarkCharacterizeCell(b *testing.B) {
 		}
 	}
 }
+
+// benchCharacterizeLibrary measures one library build (8 representative
+// cells — unate, binate, multi-stage and sequential — on the reduced 3x3
+// OPC grid) with the given worker count. The Serial/Parallel pair is the
+// PR's headline speedup comparison; on an N-core machine the parallel
+// variant should approach N x (the sweep is embarrassingly parallel, the
+// per-point simulations are the whole cost).
+func benchCharacterizeLibrary(b *testing.B, parallelism int) {
+	cfg := char.TestConfig()
+	cfg.CacheDir = "" // force real simulation work
+	cfg.Parallelism = parallelism
+	cfg.Cells = []string{
+		"INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1",
+		"OR2_X1", "XOR2_X1", "MUX2_X1", "DFF_X1",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Characterize(aging.WorstCase(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCharacterizeLibrarySerial(b *testing.B)   { benchCharacterizeLibrary(b, 1) }
+func BenchmarkCharacterizeLibraryParallel(b *testing.B) { benchCharacterizeLibrary(b, 0) }
+
+// benchGenerateGrid measures the full 121-scenario duty-cycle grid on the
+// cheapest meaningful configuration (one cell, 2x2 OPC grid, no cache), so
+// the scenario-level fan-out — not the disk — dominates.
+func benchGenerateGrid(b *testing.B, parallelism int) {
+	cfg := char.TestConfig()
+	cfg.Slews = char.LogAxis(5*units.Ps, 947*units.Ps, 2)
+	cfg.Loads = char.LogAxis(0.5*units.FF, 20*units.FF, 2)
+	cfg.Cells = []string{"INV_X1"}
+	cfg.CacheDir = ""
+	cfg.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := cfg.GenerateGrid(10, func(*liberty.Library) { n++ }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 121 {
+			b.Fatalf("visited %d libraries, want 121", n)
+		}
+	}
+}
+
+func BenchmarkGenerateGridSerial(b *testing.B)   { benchGenerateGrid(b, 1) }
+func BenchmarkGenerateGridParallel(b *testing.B) { benchGenerateGrid(b, 0) }
 
 var dctNetlist onceResult[*netlist.Netlist]
 

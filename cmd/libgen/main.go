@@ -7,6 +7,10 @@
 //	libgen -out libs -years 10            # fresh + worst-case + balance
 //	libgen -out libs -years 10 -grid      # all 121 lambda combinations
 //	libgen -out libs -years 10 -merged    # additionally write complete.alib
+//	libgen -grid -j 4                     # cap the simulation worker pool
+//
+// Characterization runs on a worker pool using every CPU by default; -j
+// bounds it (1 = serial). Scenario output order is always deterministic.
 package main
 
 import (
@@ -31,11 +35,13 @@ func main() {
 		merged = flag.Bool("merged", false, "also write the merged complete library")
 		libFmt = flag.Bool("liberty", false, "additionally emit genuine Liberty (.lib) syntax")
 		cache  = flag.String("cache", char.RepoCacheDir(), "characterization cache directory ('' disables)")
+		par    = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
 	cfg := char.DefaultConfig()
 	cfg.CacheDir = *cache
+	cfg.Parallelism = *par
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}

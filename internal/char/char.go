@@ -11,17 +11,25 @@
 // libraries (see GenerateGrid).
 //
 // Characterization is deterministic, so libraries are cached on disk in
-// the serialized .alib format and reused across processes.
+// the serialized .alib format and reused across processes. Every transient
+// simulation in the sweep is independent, so cells and grid points are
+// characterized concurrently on a worker pool bounded by Config.Parallelism
+// (0 = all CPUs); results are bit-identical at any parallelism because
+// workers fill pre-indexed table slots.
 package char
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"ageguard/internal/aging"
 	"ageguard/internal/cells"
+	"ageguard/internal/conc"
 	"ageguard/internal/device"
 	"ageguard/internal/liberty"
 	"ageguard/internal/units"
@@ -46,9 +54,23 @@ type Config struct {
 	// Cells restricts characterization to the named cells (nil = all 68).
 	Cells []string
 
-	// Progress, when non-nil, receives (done, total) cell counts.
+	// Parallelism bounds the number of concurrently running transient
+	// simulations; GenerateGrid and CompleteLibrary additionally use it to
+	// bound concurrently characterized scenarios. 0 selects GOMAXPROCS
+	// (all CPUs); 1 reproduces the fully serial behavior. Results are
+	// bit-identical at every setting: workers write into pre-indexed table
+	// slots, so assembly order never affects the library.
+	Parallelism int
+
+	// Progress, when non-nil, receives (done, total) cell counts as a
+	// library is characterized. It is guaranteed to be invoked serially —
+	// never from two goroutines at once — with done strictly increasing
+	// from 1 to total, regardless of Parallelism.
 	Progress func(done, total int)
 }
+
+// workers resolves the Parallelism knob.
+func (cfg Config) workers() int { return conc.Workers(cfg.Parallelism) }
 
 // DefaultConfig returns the paper's characterization setup: the full cell
 // set over the 7x7 OPC grid (Smin=5ps, Smax=947ps, Cmin=0.5fF, Cmax=20fF).
@@ -94,18 +116,46 @@ const (
 	dffHold  = 3 * units.Ps
 )
 
+// flight deduplicates concurrent characterizations of the same library
+// (process-wide): when several goroutines — e.g. parallel experiment legs
+// or scenario fan-outs sharing one CacheDir — request the same scenario,
+// exactly one simulates and writes the .alib; the rest share its result.
+// Returned libraries may therefore be shared between callers and must be
+// treated as immutable (everything in this repository already does).
+var flight conc.Flight[*liberty.Library]
+
 // Characterize builds the timing library for one aging scenario, using the
-// on-disk cache when configured.
+// on-disk cache when configured. It is safe to call concurrently, including
+// for the same scenario (see flight).
 func (cfg Config) Characterize(s aging.Scenario) (*liberty.Library, error) {
-	if lib, ok := cfg.loadCache(s); ok {
+	return cfg.characterizeShared(context.Background(), s, conc.NewLimiter(cfg.workers()))
+}
+
+// characterizeShared is Characterize with an externally supplied simulation
+// limiter, so nested fan-outs (scenarios x cells x grid points) share one
+// global concurrency bound.
+func (cfg Config) characterizeShared(ctx context.Context, s aging.Scenario, lim conc.Limiter) (*liberty.Library, error) {
+	return flight.Do(ctx, cfg.flightKey(s), func() (*liberty.Library, error) {
+		if lib, ok := cfg.loadCache(s); ok {
+			return lib, nil
+		}
+		lib, err := cfg.characterize(ctx, s, lim)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.storeCache(s, lib); err != nil {
+			return nil, fmt.Errorf("char: caching %s: %w", cfg.cachePath(s), err)
+		}
 		return lib, nil
-	}
-	lib, err := cfg.characterize(s)
-	if err != nil {
-		return nil, err
-	}
-	cfg.storeCache(s, lib)
-	return lib, nil
+	})
+}
+
+// flightKey identifies identical characterization work. The cache path
+// already encodes scenario, grid shape, Vdd, VthOnly and cell count; the
+// cell names are appended because restricted cell sets of equal size would
+// otherwise collide.
+func (cfg Config) flightKey(s aging.Scenario) string {
+	return cfg.cachePath(s) + "|" + strings.Join(cfg.Cells, ",")
 }
 
 func (cfg Config) cellSet() []*cells.Cell {
@@ -159,30 +209,63 @@ func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, bool) {
 	return lib, true
 }
 
-func (cfg Config) storeCache(s aging.Scenario, lib *liberty.Library) {
+// storeCache writes the library atomically: a unique temp file (so
+// concurrent writers — distinct processes, or in-process callers the
+// singleflight cannot see, like equal-sized restricted cell sets — never
+// clobber each other's half-written data) followed by a rename.
+func (cfg Config) storeCache(s aging.Scenario, lib *liberty.Library) error {
 	if cfg.CacheDir == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
-		return
+		return err
 	}
 	path := cfg.cachePath(s)
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(cfg.CacheDir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return
+		return err
 	}
 	if err := liberty.Write(f, lib); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return
+		os.Remove(f.Name())
+		return err
 	}
-	f.Close()
-	os.Rename(tmp, path)
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
-// characterize performs the actual simulation sweep.
-func (cfg Config) characterize(s aging.Scenario) (*liberty.Library, error) {
+// progress serializes Config.Progress invocations under parallelism: the
+// mutex both orders the callbacks and makes the done count monotone.
+type progress struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int)
+}
+
+func (p *progress) tick() {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.done, p.total)
+	p.mu.Unlock()
+}
+
+// characterize performs the actual simulation sweep. Cells are
+// characterized concurrently (one goroutine per cell, results written into
+// pre-indexed slots) while lim bounds the simulations actually running;
+// the first error cancels everything still pending. With one worker the
+// original serial loop runs instead.
+func (cfg Config) characterize(ctx context.Context, s aging.Scenario, lim conc.Limiter) (*liberty.Library, error) {
 	lib := &liberty.Library{
 		Name:     cfg.libName(s),
 		Scenario: s,
@@ -192,15 +275,36 @@ func (cfg Config) characterize(s aging.Scenario) (*liberty.Library, error) {
 		Cells:    map[string]*liberty.CellTiming{},
 	}
 	set := cfg.cellSet()
+	prog := &progress{total: len(set), fn: cfg.Progress}
+	results := make([]*liberty.CellTiming, len(set))
+	if lim.Cap() == 1 {
+		for i, c := range set {
+			ct, err := cfg.characterizeCell(ctx, lim, c, s)
+			if err != nil {
+				return nil, fmt.Errorf("char: cell %s under %s: %w", c.Name, s, err)
+			}
+			results[i] = ct
+			prog.tick()
+		}
+	} else {
+		g, gctx := conc.NewGroup(ctx)
+		for i, c := range set {
+			g.Go(func() error {
+				ct, err := cfg.characterizeCell(gctx, lim, c, s)
+				if err != nil {
+					return fmt.Errorf("char: cell %s under %s: %w", c.Name, s, err)
+				}
+				results[i] = ct
+				prog.tick()
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			return nil, err
+		}
+	}
 	for i, c := range set {
-		ct, err := cfg.characterizeCell(c, s)
-		if err != nil {
-			return nil, fmt.Errorf("char: cell %s under %s: %w", c.Name, s, err)
-		}
-		lib.Cells[c.Name] = ct
-		if cfg.Progress != nil {
-			cfg.Progress(i+1, len(set))
-		}
+		lib.Cells[c.Name] = results[i]
 	}
 	return lib, nil
 }
@@ -217,7 +321,7 @@ func (cfg Config) degradations(s aging.Scenario) (p, n aging.Degradation) {
 	return p, n
 }
 
-func (cfg Config) characterizeCell(c *cells.Cell, s aging.Scenario) (*liberty.CellTiming, error) {
+func (cfg Config) characterizeCell(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario) (*liberty.CellTiming, error) {
 	ct := &liberty.CellTiming{
 		Name:    c.Name,
 		Base:    c.Base,
@@ -233,7 +337,7 @@ func (cfg Config) characterizeCell(c *cells.Cell, s aging.Scenario) (*liberty.Ce
 	if c.Seq {
 		ct.Seq, ct.Clock, ct.Data = true, c.Clock, c.Data
 		ct.SetupPS, ct.HoldPS = dffSetup, dffHold
-		arc, err := cfg.clockArc(c, s)
+		arc, err := cfg.clockArc(ctx, lim, c, s)
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +345,7 @@ func (cfg Config) characterizeCell(c *cells.Cell, s aging.Scenario) (*liberty.Ce
 		return ct, nil
 	}
 	for _, spec := range DiscoverArcs(c) {
-		arc, err := cfg.combArc(c, s, spec)
+		arc, err := cfg.combArc(ctx, lim, c, s, spec)
 		if err != nil {
 			return nil, fmt.Errorf("arc %s/%s: %w", spec.Pin, spec.Sense, err)
 		}
@@ -294,16 +398,40 @@ func DiscoverArcs(c *cells.Cell) []ArcSpec {
 	return out
 }
 
-// GenerateGrid characterizes the paper's full 11x11 duty-cycle grid (121
-// libraries) for the given lifetime, invoking visit after each library.
-// Libraries are cached on disk when CacheDir is set.
-func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) error {
-	for _, s := range aging.GridScenarios(years) {
-		lib, err := cfg.Characterize(s)
+// CharacterizeAll characterizes the scenarios concurrently — bounded by
+// Parallelism both at the scenario level and, through one shared limiter,
+// at the simulation level — and returns the libraries in input order.
+// Per-scenario singleflight ensures duplicate scenarios (or concurrent
+// CharacterizeAll calls sharing a CacheDir) never characterize or write
+// the same .alib twice at the same time.
+func (cfg Config) CharacterizeAll(scenarios []aging.Scenario) ([]*liberty.Library, error) {
+	lim := conc.NewLimiter(cfg.workers())
+	libs := make([]*liberty.Library, len(scenarios))
+	err := conc.ParFor(context.Background(), cfg.workers(), len(scenarios), func(i int) error {
+		lib, err := cfg.characterizeShared(context.Background(), scenarios[i], lim)
 		if err != nil {
 			return err
 		}
-		if visit != nil {
+		libs[i] = lib
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return libs, nil
+}
+
+// GenerateGrid characterizes the paper's full 11x11 duty-cycle grid (121
+// libraries) for the given lifetime. Scenarios run concurrently (see
+// CharacterizeAll); visit is then invoked serially, in grid order, once
+// per library. Libraries are cached on disk when CacheDir is set.
+func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) error {
+	libs, err := cfg.CharacterizeAll(aging.GridScenarios(years))
+	if err != nil {
+		return err
+	}
+	if visit != nil {
+		for _, lib := range libs {
 			visit(lib)
 		}
 	}
@@ -312,15 +440,12 @@ func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) erro
 
 // CompleteLibrary builds the merged, lambda-indexed "complete
 // degradation-aware cell library" over the scenarios given (e.g. all 121
-// grid points, or just those a netlist annotation needs).
+// grid points, or just those a netlist annotation needs). Scenarios are
+// characterized concurrently; the merge order is the input order.
 func (cfg Config) CompleteLibrary(name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
-	libs := make([]*liberty.Library, 0, len(scenarios))
-	for _, s := range scenarios {
-		l, err := cfg.Characterize(s)
-		if err != nil {
-			return nil, err
-		}
-		libs = append(libs, l)
+	libs, err := cfg.CharacterizeAll(scenarios)
+	if err != nil {
+		return nil, err
 	}
 	return liberty.MergeLibraries(name, libs), nil
 }

@@ -1,10 +1,12 @@
 package char
 
 import (
+	"context"
 	"fmt"
 
 	"ageguard/internal/aging"
 	"ageguard/internal/cells"
+	"ageguard/internal/conc"
 	"ageguard/internal/device"
 	"ageguard/internal/liberty"
 	"ageguard/internal/spice"
@@ -46,27 +48,70 @@ type measurement struct {
 	delay, slew float64
 }
 
-// combArc characterizes one combinational arc over the full OPC grid.
-func (cfg Config) combArc(c *cells.Cell, s aging.Scenario, spec ArcSpec) (*liberty.Arc, error) {
-	arc := &liberty.Arc{Pin: spec.Pin, Sense: spec.Sense, When: spec.When}
-	pi := c.PinIndex(spec.Pin)
-	for _, outEdge := range []liberty.Edge{liberty.Rise, liberty.Fall} {
-		inEdge := spec.Sense.InputEdge(outEdge)
-		delayT := liberty.NewTable(cfg.Slews, cfg.Loads)
-		slewT := liberty.NewTable(cfg.Slews, cfg.Loads)
-		for i, slew := range cfg.Slews {
-			for j, load := range cfg.Loads {
-				m, err := cfg.simComb(c, s, spec, pi, inEdge, outEdge, slew, load)
-				if err != nil {
-					return nil, fmt.Errorf("%s slew=%s load=%s: %w",
-						outEdge, units.PsString(slew), units.FFString(load), err)
+// gridSweep fans the (edge, slew, load) operating-condition points of one
+// arc out over goroutines gated by lim, the simulation limiter shared by
+// the whole characterization run. Every point writes its measurement into
+// the pre-allocated table slot (i, j) of its edge — distinct slots, no
+// appends — so results are bit-identical to the serial sweep regardless of
+// completion order. With a single-token limiter the plain nested loops run
+// inline instead, preserving the exact serial execution.
+func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.Arc,
+	sim func(outEdge liberty.Edge, i, j int) (measurement, error)) error {
+
+	edges := []liberty.Edge{liberty.Rise, liberty.Fall}
+	for _, e := range edges {
+		arc.Delay[e] = liberty.NewTable(cfg.Slews, cfg.Loads)
+		arc.OutSlew[e] = liberty.NewTable(cfg.Slews, cfg.Loads)
+	}
+	point := func(e liberty.Edge, i, j int) error {
+		m, err := sim(e, i, j)
+		if err != nil {
+			return fmt.Errorf("%s slew=%s load=%s: %w",
+				e, units.PsString(cfg.Slews[i]), units.FFString(cfg.Loads[j]), err)
+		}
+		arc.Delay[e].Values[i][j] = m.delay
+		arc.OutSlew[e].Values[i][j] = m.slew
+		return nil
+	}
+	if lim.Cap() == 1 {
+		for _, e := range edges {
+			for i := range cfg.Slews {
+				for j := range cfg.Loads {
+					if err := point(e, i, j); err != nil {
+						return err
+					}
 				}
-				delayT.Values[i][j] = m.delay
-				slewT.Values[i][j] = m.slew
 			}
 		}
-		arc.Delay[outEdge] = delayT
-		arc.OutSlew[outEdge] = slewT
+		return nil
+	}
+	g, gctx := conc.NewGroup(ctx)
+	for _, e := range edges {
+		for i := range cfg.Slews {
+			for j := range cfg.Loads {
+				g.Go(func() error {
+					if err := lim.Acquire(gctx); err != nil {
+						return err
+					}
+					defer lim.Release()
+					return point(e, i, j)
+				})
+			}
+		}
+	}
+	return g.Wait()
+}
+
+// combArc characterizes one combinational arc over the full OPC grid.
+func (cfg Config) combArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario, spec ArcSpec) (*liberty.Arc, error) {
+	arc := &liberty.Arc{Pin: spec.Pin, Sense: spec.Sense, When: spec.When}
+	pi := c.PinIndex(spec.Pin)
+	err := cfg.gridSweep(ctx, lim, arc, func(outEdge liberty.Edge, i, j int) (measurement, error) {
+		inEdge := spec.Sense.InputEdge(outEdge)
+		return cfg.simComb(c, s, spec, pi, inEdge, outEdge, cfg.Slews[i], cfg.Loads[j])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return arc, nil
 }
@@ -117,24 +162,17 @@ func (cfg Config) simComb(c *cells.Cell, s aging.Scenario, spec ArcSpec,
 // clockArc characterizes the CK->Q arc of a flip-flop: Q rise with D=1 and
 // Q fall with D=0, over clock slew x output load. The slave latch is
 // initialized to the opposite state so the clock edge produces a Q toggle.
-func (cfg Config) clockArc(c *cells.Cell, s aging.Scenario) (*liberty.Arc, error) {
+func (cfg Config) clockArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario) (*liberty.Arc, error) {
 	arc := &liberty.Arc{Pin: c.Clock, Sense: liberty.PositiveUnate}
-	for _, outEdge := range []liberty.Edge{liberty.Rise, liberty.Fall} {
-		delayT := liberty.NewTable(cfg.Slews, cfg.Loads)
-		slewT := liberty.NewTable(cfg.Slews, cfg.Loads)
-		for i, slew := range cfg.Slews {
-			for j, load := range cfg.Loads {
-				m, err := cfg.simClock(c, s, outEdge, slew, load)
-				if err != nil {
-					return nil, fmt.Errorf("CK->Q %s slew=%s load=%s: %w",
-						outEdge, units.PsString(slew), units.FFString(load), err)
-				}
-				delayT.Values[i][j] = m.delay
-				slewT.Values[i][j] = m.slew
-			}
+	err := cfg.gridSweep(ctx, lim, arc, func(outEdge liberty.Edge, i, j int) (measurement, error) {
+		m, err := cfg.simClock(c, s, outEdge, cfg.Slews[i], cfg.Loads[j])
+		if err != nil {
+			return m, fmt.Errorf("CK->Q: %w", err)
 		}
-		arc.Delay[outEdge] = delayT
-		arc.OutSlew[outEdge] = slewT
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return arc, nil
 }

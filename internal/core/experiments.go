@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"ageguard/internal/aging"
+	"ageguard/internal/conc"
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
 	"ageguard/internal/sta"
@@ -343,24 +345,33 @@ func (f Flow) Fig5c(circuits []string) (*Fig5Report, error) {
 	})
 }
 
+// fig5 runs the per-circuit comparison concurrently: each circuit's
+// synthesis + STA legs are independent (libraries are immutable and the
+// characterizer deduplicates concurrent requests), and every leg writes
+// only its own pre-indexed row, keeping report order deterministic.
 func (f Flow) fig5(circuits []string, aspect string,
 	baseline func(nl *netlist.Netlist, full Guardband) (float64, error)) (*Fig5Report, error) {
 
-	var rows []Fig5Row
-	for _, c := range circuits {
+	rows := make([]Fig5Row, len(circuits))
+	err := conc.ParFor(context.Background(), f.workers(), len(circuits), func(i int) error {
+		c := circuits[i]
 		nl, err := f.SynthesizeTraditional(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		full, err := f.StaticGuardband(c, nl, aging.WorstCase(f.Lifetime))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		base, err := baseline(nl, full)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig5Row{Circuit: c, Full: full.Guardband, Base: base})
+		rows[i] = Fig5Row{Circuit: c, Full: full.Guardband, Base: base}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return summarize(aspect, rows), nil
 }
@@ -449,15 +460,24 @@ type ContainmentReport struct {
 	AvgAreaOvhPct   float64
 }
 
-// ContainmentAll runs the comparison over the circuit list.
+// ContainmentAll runs the comparison over the circuit list. Circuits are
+// analyzed concurrently (bounded by Flow.Parallelism) into pre-indexed
+// rows; the aggregation below stays serial and order-stable.
 func (f Flow) ContainmentAll(circuits []string) (*ContainmentReport, error) {
-	rep := &ContainmentReport{}
-	for _, c := range circuits {
-		row, err := f.Containment(c)
+	rows := make([]ContainmentRow, len(circuits))
+	err := conc.ParFor(context.Background(), f.workers(), len(circuits), func(i int) error {
+		row, err := f.Containment(circuits[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Rows = append(rep.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ContainmentReport{Rows: rows}
+	for _, row := range rows {
 		rep.AvgReductionPct += row.ReductionPct
 		rep.MaxReductionPct = math.Max(rep.MaxReductionPct, row.ReductionPct)
 		rep.AvgFreqGainPct += row.FreqGainPct

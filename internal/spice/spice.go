@@ -15,6 +15,17 @@
 // makes the delay impact of BTI depend on the operating conditions (input
 // slew, output load) of each gate, and it emerges here from the device
 // equations rather than being modelled explicitly.
+//
+// # Concurrency
+//
+// The package holds no global mutable state, so independent Circuit
+// instances may be built and Run concurrently from many goroutines — this
+// is what the parallel characterizer (package char) relies on: one private
+// Circuit per transient simulation. A single Circuit, however, is NOT safe
+// for concurrent use: Run mutates solver bookkeeping stored on the circuit
+// (node unknown indices), and element constructors append to its slices.
+// Waveform implementations passed to Drive must be stateless (the provided
+// DC and Ramp are), and device.Params.Ids must stay pure (it is).
 package spice
 
 import (
@@ -62,7 +73,9 @@ type resInst struct {
 }
 
 // Circuit is a device-level circuit under construction. Create with New,
-// add elements, then call Run.
+// add elements, then call Run. A Circuit must be confined to one goroutine
+// (or externally synchronized), but any number of distinct Circuits may be
+// used concurrently — see the package documentation.
 type Circuit struct {
 	vdd   float64
 	nodes []node

@@ -1,7 +1,9 @@
 package spice
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"ageguard/internal/device"
@@ -222,5 +224,58 @@ func TestResultAt(t *testing.T) {
 	}
 	if got := r.At(0, 99); got != 2 {
 		t.Errorf("At after end = %v", got)
+	}
+}
+
+// TestConcurrentIndependentCircuits validates the documented concurrency
+// contract: distinct Circuit instances built and Run from many goroutines
+// (as the parallel characterizer does) share no state and produce results
+// identical to serial runs. Run under -race this also proves the package
+// has no hidden globals.
+func TestConcurrentIndependentCircuits(t *testing.T) {
+	loads := []float64{0.5 * units.FF, 2 * units.FF, 8 * units.FF, 20 * units.FF}
+	simulate := func(load float64) (float64, error) {
+		c, in, out := inverter(load, 0.03, 0.9, 0.02, 0.95)
+		c.Drive(in, Ramp{T0: 50 * units.Ps, Slew: 100 * units.Ps, V0: 0, V1: vdd})
+		res, err := c.Run(2*units.Ns, Options{MaxStep: 25 * units.Ps})
+		if err != nil {
+			return 0, err
+		}
+		tf, ok := res.Cross(out, vdd/2, false, 50*units.Ps)
+		if !ok {
+			return 0, fmt.Errorf("no output crossing at load %v", load)
+		}
+		return tf, nil
+	}
+	want := make([]float64, len(loads))
+	for i, l := range loads {
+		w, err := simulate(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w
+	}
+	const replicas = 8
+	var wg sync.WaitGroup
+	got := make([]float64, len(loads)*replicas)
+	errs := make([]error, len(loads)*replicas)
+	for r := 0; r < replicas; r++ {
+		for i, l := range loads {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got[r*len(loads)+i], errs[r*len(loads)+i] = simulate(l)
+			}()
+		}
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", k, err)
+		}
+		if got[k] != want[k%len(loads)] {
+			t.Errorf("concurrent run %d: crossing %v differs from serial %v",
+				k, got[k], want[k%len(loads)])
+		}
 	}
 }

@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race verify fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+# verify is the tier-1 gate every change must pass (see ROADMAP.md):
+# it fails on any build/vet error, any unformatted file, or any test
+# failure with and without the race detector.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) test ./...
+	$(GO) test -race ./...

@@ -6,15 +6,19 @@
 // Usage:
 //
 //	agesynth -circuit FFT
-//	agesynth -all
+//	agesynth -all -metrics -trace-out run.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 
+	"ageguard/internal/conc"
 	"ageguard/internal/core"
+	"ageguard/internal/obs"
 )
 
 func main() {
@@ -25,17 +29,32 @@ func main() {
 		all     = flag.Bool("all", false, "run every benchmark circuit")
 		years   = flag.Float64("years", 10, "projected lifetime in years")
 	)
+	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	f := core.Default()
-	f.Lifetime = *years
-	circuits := []string{*circuit}
-	if *all {
-		circuits = core.BenchmarkCircuits()
-	}
-	rep, err := f.ContainmentAll(circuits)
-	if err != nil {
+	ctx, _, finish := o.Setup(context.Background())
+	err := run(ctx, *circuit, *all, *years)
+	finish()
+	switch {
+	case errors.Is(err, conc.ErrCanceled):
+		log.Fatal("interrupted")
+	case err != nil:
 		log.Fatal(err)
 	}
+}
+
+func run(ctx context.Context, circuit string, all bool, years float64) error {
+	ctx, sp := obs.StartSpan(ctx, "agesynth.run")
+	defer sp.End()
+	f := core.New(core.WithLifetime(years))
+	circuits := []string{circuit}
+	if all {
+		circuits = core.BenchmarkCircuits()
+	}
+	rep, err := f.ContainmentAllContext(ctx, circuits)
+	if err != nil {
+		return err
+	}
 	fmt.Print(rep.Format())
+	return nil
 }

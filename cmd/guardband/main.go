@@ -8,17 +8,21 @@
 //	guardband -circuit DSP                  # static worst-case, 10 years
 //	guardband -circuit FFT -scenario balance
 //	guardband -circuit DSP -scenario dynamic -steps 64
-//	guardband -all
+//	guardband -all -metrics -trace-out run.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"ageguard/internal/aging"
+	"ageguard/internal/conc"
 	"ageguard/internal/core"
+	"ageguard/internal/obs"
 	"ageguard/internal/units"
 )
 
@@ -33,35 +37,50 @@ func main() {
 		steps    = flag.Int("steps", 32, "workload steps (x64 vectors) for dynamic stress")
 		seed     = flag.Int64("seed", 1, "workload seed for dynamic stress")
 	)
+	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	f := core.Default()
-	f.Lifetime = *years
-	circuits := []string{*circuit}
-	if *all {
+	ctx, _, finish := o.Setup(context.Background())
+	err := run(ctx, *circuit, *all, *scenario, *years, *steps, *seed)
+	finish()
+	switch {
+	case errors.Is(err, conc.ErrCanceled):
+		log.Fatal("interrupted")
+	case err != nil:
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64) error {
+	ctx, sp := obs.StartSpan(ctx, "guardband.run")
+	defer sp.End()
+	f := core.New(core.WithLifetime(years))
+	circuits := []string{circuit}
+	if all {
 		circuits = core.BenchmarkCircuits()
 	}
 	fmt.Printf("%-10s %12s %12s %12s\n", "circuit", "freshCP", "agedCP", "guardband")
 	for _, c := range circuits {
-		gb, err := estimate(f, c, *scenario, *years, *steps, *seed)
+		gb, err := estimate(ctx, f, c, scenario, years, steps, seed)
 		if err != nil {
-			log.Fatalf("%s: %v", c, err)
+			return fmt.Errorf("%s: %w", c, err)
 		}
 		fmt.Printf("%-10s %12s %12s %12s\n", c,
 			units.PsString(gb.FreshCP), units.PsString(gb.AgedCP), units.PsString(gb.Guardband))
 	}
+	return nil
 }
 
-func estimate(f core.Flow, circuit, scenario string, years float64, steps int, seed int64) (core.Guardband, error) {
-	nl, err := f.SynthesizeTraditional(circuit)
+func estimate(ctx context.Context, f core.Flow, circuit, scenario string, years float64, steps int, seed int64) (core.Guardband, error) {
+	nl, err := f.SynthesizeTraditionalContext(ctx, circuit)
 	if err != nil {
 		return core.Guardband{}, err
 	}
 	switch scenario {
 	case "worst":
-		return f.StaticGuardband(circuit, nl, aging.WorstCase(years))
+		return f.StaticGuardbandContext(ctx, circuit, nl, aging.WorstCase(years))
 	case "balance":
-		return f.StaticGuardband(circuit, nl, aging.BalanceCase(years))
+		return f.StaticGuardbandContext(ctx, circuit, nl, aging.BalanceCase(years))
 	case "dynamic":
 		rng := rand.New(rand.NewSource(seed))
 		stim := func(int) map[string]uint64 {
@@ -71,7 +90,7 @@ func estimate(f core.Flow, circuit, scenario string, years float64, steps int, s
 			}
 			return in
 		}
-		gb, _, err := f.DynamicGuardband(circuit, nl, stim, steps)
+		gb, _, err := f.DynamicGuardbandContext(ctx, circuit, nl, stim, steps)
 		return gb, err
 	default:
 		return core.Guardband{}, fmt.Errorf("unknown scenario %q", scenario)

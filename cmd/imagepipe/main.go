@@ -7,17 +7,22 @@
 //
 //	imagepipe -out out -size 64
 //	imagepipe -out out -in photo.pgm
+//	imagepipe -out out -metrics -trace-out run.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
+	"ageguard/internal/conc"
 	"ageguard/internal/core"
 	"ageguard/internal/image"
+	"ageguard/internal/obs"
 )
 
 func main() {
@@ -28,47 +33,63 @@ func main() {
 		size = flag.Int("size", 64, "synthetic test image size (multiple of 8)")
 		in   = flag.String("in", "", "input PGM image (overrides -size)")
 	)
+	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, _, finish := o.Setup(context.Background())
+	err := run(ctx, *out, *size, *in)
+	finish()
+	switch {
+	case errors.Is(err, conc.ErrCanceled):
+		log.Fatal("interrupted")
+	case err != nil:
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, out string, size int, in string) error {
+	ctx, sp := obs.StartSpan(ctx, "imagepipe.run")
+	defer sp.End()
 	var img *image.Gray
-	if *in != "" {
-		fh, err := os.Open(*in)
+	if in != "" {
+		fh, err := os.Open(in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var rerr error
 		img, rerr = image.ReadPGM(fh)
 		fh.Close()
 		if rerr != nil {
-			log.Fatal(rerr)
+			return rerr
 		}
 	} else {
-		img = image.TestImage(*size, *size)
+		img = image.TestImage(size, size)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
 	}
-	if err := save(filepath.Join(*out, "original.pgm"), img); err != nil {
-		log.Fatal(err)
+	if err := save(filepath.Join(out, "original.pgm"), img); err != nil {
+		return err
 	}
 
-	f := core.Default()
+	f := core.New()
 	cases := core.StandardImageCases()
 	fmt.Println("running DCT-IDCT gate-level simulations (this synthesizes and")
 	fmt.Println("characterizes on first run; results are cached under .libcache)")
-	results, err := f.ImageStudy(img, cases)
+	results, err := f.ImageStudyContext(ctx, img, cases)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("\n%-22s %10s\n", "scenario", "PSNR [dB]")
 	for _, r := range results {
-		path := filepath.Join(*out, r.Label+".pgm")
+		path := filepath.Join(out, r.Label+".pgm")
 		if err := save(path, r.Out); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%-22s %10.2f   -> %s\n", r.Label, r.PSNR, path)
 	}
 	fmt.Println("\n30 dB is the paper's threshold of acceptable quality.")
+	return nil
 }
 
 func save(path string, g *image.Gray) error {

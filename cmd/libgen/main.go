@@ -8,21 +8,29 @@
 //	libgen -out libs -years 10 -grid      # all 121 lambda combinations
 //	libgen -out libs -years 10 -merged    # additionally write complete.alib
 //	libgen -grid -j 4                     # cap the simulation worker pool
+//	libgen -grid -metrics -trace-out run.json -pprof :6060
 //
 // Characterization runs on a worker pool using every CPU by default; -j
 // bounds it (1 = serial). Scenario output order is always deterministic.
+// Ctrl-C cancels the run cleanly: in-flight transient simulations stop
+// within one time step and no partial cache entries are left behind.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ageguard/internal/aging"
 	"ageguard/internal/char"
+	"ageguard/internal/conc"
 	"ageguard/internal/liberty"
+	"ageguard/internal/obs"
 )
 
 func main() {
@@ -36,23 +44,44 @@ func main() {
 		libFmt = flag.Bool("liberty", false, "additionally emit genuine Liberty (.lib) syntax")
 		cache  = flag.String("cache", char.RepoCacheDir(), "characterization cache directory ('' disables)")
 		par    = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
+		cells  = flag.String("cells", "", "comma-separated cell subset (default: all cells)")
 	)
+	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := char.DefaultConfig()
-	cfg.CacheDir = *cache
-	cfg.Parallelism = *par
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	ctx, _, finish := o.Setup(context.Background())
+	err := run(ctx, *out, *years, *grid, *merged, *libFmt, *cache, *par, *cells)
+	finish()
+	switch {
+	case errors.Is(err, conc.ErrCanceled):
+		log.Fatal("interrupted")
+	case err != nil:
 		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, out string, years float64, grid, merged, libFmt bool, cache string, par int, cellList string) error {
+	ctx, sp := obs.StartSpan(ctx, "libgen.run")
+	defer sp.End()
+
+	cfg := char.New(
+		char.WithCacheDir(cache),
+		char.WithParallelism(par),
+	)
+	if cellList != "" {
+		cfg.Cells = strings.Split(cellList, ",")
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
 	}
 
 	scenarios := []aging.Scenario{
 		aging.Fresh(),
-		aging.WorstCase(*years),
-		aging.BalanceCase(*years),
+		aging.WorstCase(years),
+		aging.BalanceCase(years),
 	}
-	if *grid {
-		scenarios = append([]aging.Scenario{aging.Fresh()}, aging.GridScenarios(*years)...)
+	if grid {
+		scenarios = append([]aging.Scenario{aging.Fresh()}, aging.GridScenarios(years)...)
 	}
 
 	var libs []*liberty.Library
@@ -60,31 +89,33 @@ func main() {
 		cfg.Progress = func(done, total int) {
 			fmt.Printf("\r[%d/%d] %-24s cell %d/%d   ", i+1, len(scenarios), s, done, total)
 		}
-		lib, err := cfg.Characterize(s)
+		lib, err := cfg.CharacterizeContext(ctx, s)
 		if err != nil {
-			log.Fatalf("scenario %s: %v", s, err)
+			fmt.Println()
+			return fmt.Errorf("scenario %s: %w", s, err)
 		}
 		libs = append(libs, lib)
-		path := filepath.Join(*out, lib.Name+".alib")
+		path := filepath.Join(out, lib.Name+".alib")
 		if err := writeLib(path, lib); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if *libFmt {
-			if err := writeDotLib(filepath.Join(*out, lib.Name+".lib"), lib); err != nil {
-				log.Fatal(err)
+		if libFmt {
+			if err := writeDotLib(filepath.Join(out, lib.Name+".lib"), lib); err != nil {
+				return err
 			}
 		}
 		fmt.Printf("\r[%d/%d] %-24s -> %s%20s\n", i+1, len(scenarios), s, path, "")
 	}
 
-	if *merged {
+	if merged {
 		m := liberty.MergeLibraries("complete", libs)
-		path := filepath.Join(*out, "complete.alib")
+		path := filepath.Join(out, "complete.alib")
 		if err := writeLib(path, &m.Library); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("merged %d libraries (%d cells) -> %s\n", len(libs), len(m.Cells), path)
 	}
+	return nil
 }
 
 func writeLib(path string, lib *liberty.Library) error {

@@ -8,9 +8,12 @@
 //
 //	stareport -circuit FFT -scenario worst -years 10
 //	stareport -circuit DSP -sdf dsp.sdf -verilog dsp.v -lib aged.lib
+//	stareport -circuit FFT -metrics -trace-out run.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,9 +21,11 @@ import (
 	"sort"
 
 	"ageguard/internal/aging"
+	"ageguard/internal/conc"
 	"ageguard/internal/core"
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
 	"ageguard/internal/sta"
 	"ageguard/internal/units"
 )
@@ -36,36 +41,50 @@ func main() {
 		vOut     = flag.String("verilog", "", "write structural Verilog to this file")
 		libOut   = flag.String("lib", "", "write the scenario's Liberty library to this file")
 	)
+	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	f := core.Default()
-	f.Lifetime = *years
+	ctx, _, finish := o.Setup(context.Background())
+	err := run(ctx, *circuit, *scenario, *years, *sdfOut, *vOut, *libOut)
+	finish()
+	switch {
+	case errors.Is(err, conc.ErrCanceled):
+		log.Fatal("interrupted")
+	case err != nil:
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, circuit, scenario string, years float64, sdfOut, vOut, libOut string) error {
+	ctx, sp := obs.StartSpan(ctx, "stareport.run")
+	defer sp.End()
+	f := core.New(core.WithLifetime(years))
 	var s aging.Scenario
-	switch *scenario {
+	switch scenario {
 	case "fresh":
 		s = aging.Fresh()
 	case "worst":
-		s = aging.WorstCase(*years)
+		s = aging.WorstCase(years)
 	case "balance":
-		s = aging.BalanceCase(*years)
+		s = aging.BalanceCase(years)
 	default:
-		log.Fatalf("unknown scenario %q", *scenario)
+		return fmt.Errorf("unknown scenario %q", scenario)
 	}
-	lib, err := f.Library(s)
+	lib, err := f.LibraryContext(ctx, s)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	nl, err := f.SynthesizeTraditional(*circuit)
+	nl, err := f.SynthesizeTraditionalContext(ctx, circuit)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	res, err := sta.Analyze(nl, lib, f.STA)
+	res, err := sta.AnalyzeContext(ctx, nl, lib, f.STA)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("design %s under %s: critical path %s (f = %.2f GHz)\n\n",
-		*circuit, s, units.PsString(res.CP), 1e-9/res.CP)
+		circuit, s, units.PsString(res.CP), 1e-9/res.CP)
 	fmt.Printf("startpoint: %s\nendpoint:   %s (%v)\n\n",
 		res.Worst.Launch, res.Worst.Endpoint, res.Worst.EndEdge)
 	fmt.Printf("%-24s %-14s %5s %10s %12s\n", "instance", "cell", "edge", "delay", "arrival")
@@ -81,15 +100,22 @@ func main() {
 	fmt.Println("\nendpoint slack distribution:")
 	printSlackHisto(nl, lib, res)
 
-	if *vOut != "" {
-		writeFile(*vOut, func(w *os.File) error { return netlist.WriteVerilog(w, nl) })
+	if vOut != "" {
+		if err := writeFile(vOut, func(w *os.File) error { return netlist.WriteVerilog(w, nl) }); err != nil {
+			return err
+		}
 	}
-	if *sdfOut != "" {
-		writeFile(*sdfOut, func(w *os.File) error { return sta.WriteSDF(w, nl, lib, res, f.STA) })
+	if sdfOut != "" {
+		if err := writeFile(sdfOut, func(w *os.File) error { return sta.WriteSDF(w, nl, lib, res, f.STA) }); err != nil {
+			return err
+		}
 	}
-	if *libOut != "" {
-		writeFile(*libOut, func(w *os.File) error { return liberty.WriteLiberty(w, lib) })
+	if libOut != "" {
+		if err := writeFile(libOut, func(w *os.File) error { return liberty.WriteLiberty(w, lib) }); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func printSlackHisto(nl *netlist.Netlist, lib *liberty.Library, res *sta.Result) {
@@ -131,14 +157,15 @@ func printSlackHisto(nl *netlist.Netlist, lib *liberty.Library, res *sta.Result)
 	}
 }
 
-func writeFile(path string, fn func(*os.File) error) {
+func writeFile(path string, fn func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := fn(f); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -20,19 +20,40 @@ package char
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
+	"time"
 
 	"ageguard/internal/aging"
 	"ageguard/internal/cells"
 	"ageguard/internal/conc"
 	"ageguard/internal/device"
 	"ageguard/internal/liberty"
+	"ageguard/internal/obs"
 	"ageguard/internal/units"
+)
+
+// Sentinel errors, matchable with errors.Is through any number of %w
+// wrapping layers.
+var (
+	// ErrNoCell reports a Config.Cells entry naming no known cell.
+	ErrNoCell = errors.New("char: no such cell")
+
+	// ErrCacheCorrupt reports an on-disk .alib cache entry that exists
+	// but cannot be parsed. Characterization treats it as a miss and
+	// rebuilds (atomically replacing the bad file), counting the event
+	// under the char.cache.corrupt metric.
+	ErrCacheCorrupt = errors.New("char: cache entry corrupt")
+
+	// ErrCanceled aliases conc.ErrCanceled: every error caused by context
+	// cancellation matches it (and the context's own error).
+	ErrCanceled = conc.ErrCanceled
 )
 
 // Config controls characterization.
@@ -124,49 +145,81 @@ const (
 // treated as immutable (everything in this repository already does).
 var flight conc.Flight[*liberty.Library]
 
-// Characterize builds the timing library for one aging scenario, using the
-// on-disk cache when configured. It is safe to call concurrently, including
-// for the same scenario (see flight).
+// Characterize builds the timing library for one aging scenario.
+//
+// Deprecated: use CharacterizeContext, which supports cancellation and
+// records into the run's metrics registry. This wrapper uses
+// context.Background and remains for existing callers.
 func (cfg Config) Characterize(s aging.Scenario) (*liberty.Library, error) {
-	return cfg.characterizeShared(context.Background(), s, conc.NewLimiter(cfg.workers()))
+	return cfg.CharacterizeContext(context.Background(), s)
 }
 
-// characterizeShared is Characterize with an externally supplied simulation
-// limiter, so nested fan-outs (scenarios x cells x grid points) share one
-// global concurrency bound.
+// CharacterizeContext builds the timing library for one aging scenario,
+// using the on-disk cache when configured. It is safe to call
+// concurrently, including for the same scenario (see flight). Canceling
+// ctx stops in-flight simulations within one time step; the returned
+// error then matches ErrCanceled.
+func (cfg Config) CharacterizeContext(ctx context.Context, s aging.Scenario) (*liberty.Library, error) {
+	return cfg.characterizeShared(ctx, s, conc.NewLimiter(cfg.workers()))
+}
+
+// characterizeShared is CharacterizeContext with an externally supplied
+// simulation limiter, so nested fan-outs (scenarios x cells x grid points)
+// share one global concurrency bound.
 func (cfg Config) characterizeShared(ctx context.Context, s aging.Scenario, lim conc.Limiter) (*liberty.Library, error) {
-	return flight.Do(ctx, cfg.flightKey(s), func() (*liberty.Library, error) {
-		if lib, ok := cfg.loadCache(s); ok {
+	reg := obs.From(ctx)
+	lib, err := flight.Do(ctx, cfg.flightKey(s), func() (*liberty.Library, error) {
+		ctx, sp := obs.StartSpan(ctx, "char.library")
+		defer sp.End()
+		sp.SetAttr("scenario", s.String())
+		sp.SetAttr("lib", cfg.libName(s))
+		lib, err := cfg.loadCache(s)
+		switch {
+		case err == nil:
+			reg.Counter("char.cache.hits").Inc()
+			sp.SetAttr("cache", "hit")
 			return lib, nil
+		case errors.Is(err, ErrCacheCorrupt):
+			reg.Counter("char.cache.corrupt").Inc()
+			sp.SetAttr("cache", "corrupt")
+		default:
+			sp.SetAttr("cache", "miss")
 		}
-		lib, err := cfg.characterize(ctx, s, lim)
+		reg.Counter("char.cache.misses").Inc()
+		lib, err = cfg.characterize(ctx, s, lim)
 		if err != nil {
+			sp.SetAttr("error", err)
 			return nil, err
 		}
 		if err := cfg.storeCache(s, lib); err != nil {
 			return nil, fmt.Errorf("char: caching %s: %w", cfg.cachePath(s), err)
 		}
+		reg.Counter("char.libraries").Inc()
 		return lib, nil
 	})
+	return lib, conc.WrapCanceled(err)
 }
 
 // flightKey identifies identical characterization work. The cache path
-// already encodes scenario, grid shape, Vdd, VthOnly and cell count; the
-// cell names are appended because restricted cell sets of equal size would
-// otherwise collide.
+// embeds the full configuration hash (grid values, device/aging models,
+// cell names), so it doubles as the deduplication key.
 func (cfg Config) flightKey(s aging.Scenario) string {
-	return cfg.cachePath(s) + "|" + strings.Join(cfg.Cells, ",")
+	return cfg.cachePath(s)
 }
 
-func (cfg Config) cellSet() []*cells.Cell {
+func (cfg Config) cellSet() ([]*cells.Cell, error) {
 	if cfg.Cells == nil {
-		return cells.All()
+		return cells.All(), nil
 	}
 	out := make([]*cells.Cell, 0, len(cfg.Cells))
 	for _, n := range cfg.Cells {
-		out = append(out, cells.MustByName(n))
+		c, ok := cells.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoCell, n)
+		}
+		out = append(out, c)
 	}
-	return out
+	return out, nil
 }
 
 func (cfg Config) libName(s aging.Scenario) string {
@@ -177,42 +230,68 @@ func (cfg Config) libName(s aging.Scenario) string {
 	return fmt.Sprintf("aged_y%.1f_%s%s", s.Years, s.Key(), suffix)
 }
 
+// Hash fingerprints every configuration knob that affects the simulated
+// tables: the device technology, the aging model, the exact grid axis
+// values (not just their counts), the VthOnly mode and the cell set. The
+// cache filename embeds it, so changing e.g. one OPC grid point can never
+// silently reuse a stale entry characterized under the old grid. The
+// hashed structs are plain numeric data, so the canonical %v dump is
+// deterministic across processes and builds.
+func (cfg Config) Hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "tech=%v|model=%v|slews=%v|loads=%v|vthonly=%v|cells=%q",
+		cfg.Tech, cfg.Model, cfg.Slews, cfg.Loads, cfg.VthOnly, cfg.Cells)
+	return h.Sum64()
+}
+
 func (cfg Config) cachePath(s aging.Scenario) string {
 	n := len(cfg.Cells)
 	if cfg.Cells == nil {
 		n = 0 // full set marker
 	}
-	fn := fmt.Sprintf("%s_g%dx%d_c%d_v%g.alib",
-		cfg.libName(s), len(cfg.Slews), len(cfg.Loads), n, cfg.Tech.Vdd)
+	fn := fmt.Sprintf("%s_g%dx%d_c%d_v%g_h%016x.alib",
+		cfg.libName(s), len(cfg.Slews), len(cfg.Loads), n, cfg.Tech.Vdd, cfg.Hash())
 	return filepath.Join(cfg.CacheDir, fn)
 }
 
-func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, bool) {
+// loadCache loads the cached library for s. A nil error means a usable
+// hit. Misses wrap fs.ErrNotExist; entries that exist but fail to parse
+// wrap ErrCacheCorrupt (the caller rebuilds and atomically replaces them).
+func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, error) {
 	if cfg.CacheDir == "" {
-		return nil, false
+		return nil, fmt.Errorf("char: cache disabled: %w", fs.ErrNotExist)
 	}
-	f, err := os.Open(cfg.cachePath(s))
+	path := cfg.cachePath(s)
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, false
+		return nil, err
 	}
 	defer f.Close()
 	lib, err := liberty.Read(f)
 	if err != nil {
-		return nil, false
+		return nil, fmt.Errorf("%w: %s: %v", ErrCacheCorrupt, path, err)
 	}
 	// When restricted to named cells, verify the cached set covers them.
-	for _, c := range cfg.cellSet() {
+	// (Unreachable while the hash embeds the cell list; kept as defense
+	// against hand-copied cache files.)
+	set, err := cfg.cellSet()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range set {
 		if _, ok := lib.Cell(c.Name); !ok {
-			return nil, false
+			return nil, fmt.Errorf("%w: %s lacks cell %s", ErrCacheCorrupt, path, c.Name)
 		}
 	}
-	return lib, true
+	return lib, nil
 }
 
 // storeCache writes the library atomically: a unique temp file (so
-// concurrent writers — distinct processes, or in-process callers the
-// singleflight cannot see, like equal-sized restricted cell sets — never
-// clobber each other's half-written data) followed by a rename.
+// concurrent writers — e.g. distinct processes sharing one cache dir,
+// which the in-process singleflight cannot see — never clobber each
+// other's half-written data) followed by a rename. An interrupted run
+// therefore never leaves a partial cache entry behind: the temp file is
+// removed on every error path and the rename is atomic.
 func (cfg Config) storeCache(s aging.Scenario, lib *liberty.Library) error {
 	if cfg.CacheDir == "" {
 		return nil
@@ -274,7 +353,10 @@ func (cfg Config) characterize(ctx context.Context, s aging.Scenario, lim conc.L
 		Loads:    append([]float64(nil), cfg.Loads...),
 		Cells:    map[string]*liberty.CellTiming{},
 	}
-	set := cfg.cellSet()
+	set, err := cfg.cellSet()
+	if err != nil {
+		return nil, err
+	}
 	prog := &progress{total: len(set), fn: cfg.Progress}
 	results := make([]*liberty.CellTiming, len(set))
 	if lim.Cap() == 1 {
@@ -322,6 +404,12 @@ func (cfg Config) degradations(s aging.Scenario) (p, n aging.Degradation) {
 }
 
 func (cfg Config) characterizeCell(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario) (*liberty.CellTiming, error) {
+	reg := obs.From(ctx)
+	t0 := time.Now()
+	defer func() {
+		reg.Counter("char.cells").Inc()
+		reg.Histogram("char.cell.seconds").Since(t0)
+	}()
 	ct := &liberty.CellTiming{
 		Name:    c.Name,
 		Base:    c.Base,
@@ -398,17 +486,30 @@ func DiscoverArcs(c *cells.Cell) []ArcSpec {
 	return out
 }
 
-// CharacterizeAll characterizes the scenarios concurrently — bounded by
-// Parallelism both at the scenario level and, through one shared limiter,
-// at the simulation level — and returns the libraries in input order.
-// Per-scenario singleflight ensures duplicate scenarios (or concurrent
-// CharacterizeAll calls sharing a CacheDir) never characterize or write
-// the same .alib twice at the same time.
+// CharacterizeAll characterizes the scenarios and returns the libraries
+// in input order.
+//
+// Deprecated: use CharacterizeAllContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (cfg Config) CharacterizeAll(scenarios []aging.Scenario) ([]*liberty.Library, error) {
+	return cfg.CharacterizeAllContext(context.Background(), scenarios)
+}
+
+// CharacterizeAllContext characterizes the scenarios concurrently —
+// bounded by Parallelism both at the scenario level and, through one
+// shared limiter, at the simulation level — and returns the libraries in
+// input order. Per-scenario singleflight ensures duplicate scenarios (or
+// concurrent calls sharing a CacheDir) never characterize or write the
+// same .alib twice at the same time. Canceling ctx stops scenario
+// dispatch and in-flight simulations; the error then matches ErrCanceled.
+func (cfg Config) CharacterizeAllContext(ctx context.Context, scenarios []aging.Scenario) ([]*liberty.Library, error) {
+	ctx, sp := obs.StartSpan(ctx, "char.sweep")
+	defer sp.End()
+	sp.SetAttr("scenarios", len(scenarios))
 	lim := conc.NewLimiter(cfg.workers())
 	libs := make([]*liberty.Library, len(scenarios))
-	err := conc.ParFor(context.Background(), cfg.workers(), len(scenarios), func(i int) error {
-		lib, err := cfg.characterizeShared(context.Background(), scenarios[i], lim)
+	err := conc.ParFor(ctx, cfg.workers(), len(scenarios), func(i int) error {
+		lib, err := cfg.characterizeShared(ctx, scenarios[i], lim)
 		if err != nil {
 			return err
 		}
@@ -416,17 +517,28 @@ func (cfg Config) CharacterizeAll(scenarios []aging.Scenario) ([]*liberty.Librar
 		return nil
 	})
 	if err != nil {
+		err = conc.WrapCanceled(err)
+		sp.SetAttr("error", err)
 		return nil, err
 	}
 	return libs, nil
 }
 
-// GenerateGrid characterizes the paper's full 11x11 duty-cycle grid (121
-// libraries) for the given lifetime. Scenarios run concurrently (see
-// CharacterizeAll); visit is then invoked serially, in grid order, once
-// per library. Libraries are cached on disk when CacheDir is set.
+// GenerateGrid characterizes the full duty-cycle grid for the lifetime.
+//
+// Deprecated: use GenerateGridContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) error {
-	libs, err := cfg.CharacterizeAll(aging.GridScenarios(years))
+	return cfg.GenerateGridContext(context.Background(), years, visit)
+}
+
+// GenerateGridContext characterizes the paper's full 11x11 duty-cycle
+// grid (121 libraries) for the given lifetime. Scenarios run concurrently
+// (see CharacterizeAllContext); visit is then invoked serially, in grid
+// order, once per library. Libraries are cached on disk when CacheDir is
+// set.
+func (cfg Config) GenerateGridContext(ctx context.Context, years float64, visit func(*liberty.Library)) error {
+	libs, err := cfg.CharacterizeAllContext(ctx, aging.GridScenarios(years))
 	if err != nil {
 		return err
 	}
@@ -438,12 +550,20 @@ func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) erro
 	return nil
 }
 
-// CompleteLibrary builds the merged, lambda-indexed "complete
+// CompleteLibrary builds the merged lambda-indexed library.
+//
+// Deprecated: use CompleteLibraryContext. This wrapper uses
+// context.Background and remains for existing callers.
+func (cfg Config) CompleteLibrary(name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
+	return cfg.CompleteLibraryContext(context.Background(), name, scenarios)
+}
+
+// CompleteLibraryContext builds the merged, lambda-indexed "complete
 // degradation-aware cell library" over the scenarios given (e.g. all 121
 // grid points, or just those a netlist annotation needs). Scenarios are
 // characterized concurrently; the merge order is the input order.
-func (cfg Config) CompleteLibrary(name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
-	libs, err := cfg.CharacterizeAll(scenarios)
+func (cfg Config) CompleteLibraryContext(ctx context.Context, name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
+	libs, err := cfg.CharacterizeAllContext(ctx, scenarios)
 	if err != nil {
 		return nil, err
 	}

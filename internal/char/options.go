@@ -1,0 +1,46 @@
+package char
+
+import (
+	"ageguard/internal/aging"
+	"ageguard/internal/device"
+	"ageguard/internal/opt"
+)
+
+// Option configures a Config under construction; see New.
+type Option = opt.Option[Config]
+
+// New returns DefaultConfig with the options applied, so callers build a
+// configuration in one expression:
+//
+//	cfg := char.New(char.WithParallelism(8), char.WithCacheDir(".libcache"))
+func New(opts ...Option) Config {
+	return opt.Apply(DefaultConfig(), opts...)
+}
+
+// WithTech selects the device technology models.
+func WithTech(t device.Tech) Option { return func(c *Config) { c.Tech = t } }
+
+// WithModel selects the aging (degradation) model.
+func WithModel(m aging.Model) Option { return func(c *Config) { c.Model = m } }
+
+// WithGrid replaces the OPC grid axes (input slews x output loads).
+func WithGrid(slews, loads []float64) Option {
+	return func(c *Config) { c.Slews, c.Loads = slews, loads }
+}
+
+// WithVthOnly toggles the Vth-only comparison mode (no mobility degradation).
+func WithVthOnly(on bool) Option { return func(c *Config) { c.VthOnly = on } }
+
+// WithCacheDir enables the on-disk library cache rooted at dir ("" disables).
+func WithCacheDir(dir string) Option { return func(c *Config) { c.CacheDir = dir } }
+
+// WithCells restricts characterization to the named cells (nil = all).
+func WithCells(names ...string) Option { return func(c *Config) { c.Cells = names } }
+
+// WithParallelism bounds concurrent transient simulations (0 = all CPUs).
+func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n } }
+
+// WithProgress installs the serialized per-cell progress callback.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *Config) { c.Progress = fn }
+}

@@ -120,9 +120,9 @@ func TestGenerateGridConcurrentSharedCache(t *testing.T) {
 		t.Errorf("cache holds %d .alib files, want %d", alibs, len(scens))
 	}
 	// Spot check: a cached library loads back with the right cell.
-	lib, ok := cfg.loadCache(scens[0])
-	if !ok {
-		t.Fatal("cache miss after GenerateGrid")
+	lib, err := cfg.loadCache(scens[0])
+	if err != nil {
+		t.Fatalf("cache miss after GenerateGrid: %v", err)
 	}
 	if _, ok := lib.Cell("INV_X1"); !ok {
 		t.Error("cached library lacks INV_X1")

@@ -56,15 +56,15 @@ type measurement struct {
 // completion order. With a single-token limiter the plain nested loops run
 // inline instead, preserving the exact serial execution.
 func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.Arc,
-	sim func(outEdge liberty.Edge, i, j int) (measurement, error)) error {
+	sim func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error)) error {
 
 	edges := []liberty.Edge{liberty.Rise, liberty.Fall}
 	for _, e := range edges {
 		arc.Delay[e] = liberty.NewTable(cfg.Slews, cfg.Loads)
 		arc.OutSlew[e] = liberty.NewTable(cfg.Slews, cfg.Loads)
 	}
-	point := func(e liberty.Edge, i, j int) error {
-		m, err := sim(e, i, j)
+	point := func(ctx context.Context, e liberty.Edge, i, j int) error {
+		m, err := sim(ctx, e, i, j)
 		if err != nil {
 			return fmt.Errorf("%s slew=%s load=%s: %w",
 				e, units.PsString(cfg.Slews[i]), units.FFString(cfg.Loads[j]), err)
@@ -77,7 +77,10 @@ func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.
 		for _, e := range edges {
 			for i := range cfg.Slews {
 				for j := range cfg.Loads {
-					if err := point(e, i, j); err != nil {
+					if err := ctx.Err(); err != nil {
+						return conc.WrapCanceled(err)
+					}
+					if err := point(ctx, e, i, j); err != nil {
 						return err
 					}
 				}
@@ -85,30 +88,46 @@ func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.
 		}
 		return nil
 	}
+	// Bound live point goroutines by the limiter capacity instead of
+	// spawning one per grid point: a sweep-wide flood (tens of thousands
+	// across a library) swamps the scheduler's run queue, which on a
+	// small-GOMAXPROCS host starves the signal-watcher goroutine and turns
+	// Ctrl-C from milliseconds into seconds.
 	g, gctx := conc.NewGroup(ctx)
+	g.SetLimit(lim.Cap())
+dispatch:
 	for _, e := range edges {
 		for i := range cfg.Slews {
 			for j := range cfg.Loads {
+				if gctx.Err() != nil {
+					break dispatch
+				}
 				g.Go(func() error {
 					if err := lim.Acquire(gctx); err != nil {
-						return err
+						return conc.WrapCanceled(err)
 					}
 					defer lim.Release()
-					return point(e, i, j)
+					return point(gctx, e, i, j)
 				})
 			}
 		}
 	}
-	return g.Wait()
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	// Dispatch may have stopped early on a parent cancellation that no
+	// in-flight task happened to observe; an incomplete sweep must not
+	// return a nil error.
+	return conc.WrapCanceled(ctx.Err())
 }
 
 // combArc characterizes one combinational arc over the full OPC grid.
 func (cfg Config) combArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario, spec ArcSpec) (*liberty.Arc, error) {
 	arc := &liberty.Arc{Pin: spec.Pin, Sense: spec.Sense, When: spec.When}
 	pi := c.PinIndex(spec.Pin)
-	err := cfg.gridSweep(ctx, lim, arc, func(outEdge liberty.Edge, i, j int) (measurement, error) {
+	err := cfg.gridSweep(ctx, lim, arc, func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error) {
 		inEdge := spec.Sense.InputEdge(outEdge)
-		return cfg.simComb(c, s, spec, pi, inEdge, outEdge, cfg.Slews[i], cfg.Loads[j])
+		return cfg.simComb(ctx, c, s, spec, pi, inEdge, outEdge, cfg.Slews[i], cfg.Loads[j])
 	})
 	if err != nil {
 		return nil, err
@@ -116,7 +135,7 @@ func (cfg Config) combArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, 
 	return arc, nil
 }
 
-func (cfg Config) simComb(c *cells.Cell, s aging.Scenario, spec ArcSpec,
+func (cfg Config) simComb(ctx context.Context, c *cells.Cell, s aging.Scenario, spec ArcSpec,
 	pi int, inEdge, outEdge liberty.Edge, slew, load float64) (measurement, error) {
 
 	vdd := cfg.Tech.Vdd
@@ -143,7 +162,7 @@ func (cfg Config) simComb(c *cells.Cell, s aging.Scenario, spec ArcSpec,
 	ckt.C(out, ckt.Gnd(), load)
 
 	tstop := t0 + slew + 3*units.Ns
-	res, err := ckt.Run(tstop, spice.Options{MaxStep: 25 * units.Ps})
+	res, err := ckt.RunContext(ctx, tstop, spice.Options{MaxStep: 25 * units.Ps})
 	if err != nil {
 		return measurement{}, err
 	}
@@ -164,8 +183,8 @@ func (cfg Config) simComb(c *cells.Cell, s aging.Scenario, spec ArcSpec,
 // initialized to the opposite state so the clock edge produces a Q toggle.
 func (cfg Config) clockArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario) (*liberty.Arc, error) {
 	arc := &liberty.Arc{Pin: c.Clock, Sense: liberty.PositiveUnate}
-	err := cfg.gridSweep(ctx, lim, arc, func(outEdge liberty.Edge, i, j int) (measurement, error) {
-		m, err := cfg.simClock(c, s, outEdge, cfg.Slews[i], cfg.Loads[j])
+	err := cfg.gridSweep(ctx, lim, arc, func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error) {
+		m, err := cfg.simClock(ctx, c, s, outEdge, cfg.Slews[i], cfg.Loads[j])
 		if err != nil {
 			return m, fmt.Errorf("CK->Q: %w", err)
 		}
@@ -177,7 +196,7 @@ func (cfg Config) clockArc(ctx context.Context, lim conc.Limiter, c *cells.Cell,
 	return arc, nil
 }
 
-func (cfg Config) simClock(c *cells.Cell, s aging.Scenario,
+func (cfg Config) simClock(ctx context.Context, c *cells.Cell, s aging.Scenario,
 	outEdge liberty.Edge, slew, load float64) (measurement, error) {
 
 	vdd := cfg.Tech.Vdd
@@ -209,7 +228,7 @@ func (cfg Config) simClock(c *cells.Cell, s aging.Scenario,
 		},
 	}
 	tstop := t0 + slew + 3*units.Ns
-	res, err := ckt.Run(tstop, opts)
+	res, err := ckt.RunContext(ctx, tstop, opts)
 	if err != nil {
 		return measurement{}, err
 	}

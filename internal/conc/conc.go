@@ -13,9 +13,29 @@ package conc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// ErrCanceled is the sentinel every pipeline layer wraps (with %w) when
+// work stops because its context was canceled, so callers distinguish
+// "the user interrupted the run" from real failures with errors.Is
+// instead of string matching. Errors wrapped via WrapCanceled also match
+// the underlying context.Canceled / context.DeadlineExceeded.
+var ErrCanceled = errors.New("pipeline canceled")
+
+// WrapCanceled converts a context cancellation error into one that also
+// matches ErrCanceled; nil and unrelated errors pass through unchanged.
+func WrapCanceled(err error) error {
+	if err == nil || errors.Is(err, ErrCanceled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
 
 // Workers resolves a Parallelism knob to a worker count: values <= 0 select
 // GOMAXPROCS (all available CPUs), 1 means serial, anything else is taken
@@ -122,8 +142,14 @@ func NewLimiter(n int) Limiter { return make(Limiter, Workers(n)) }
 // Cap returns the number of tokens (the concurrency bound).
 func (l Limiter) Cap() int { return cap(l) }
 
-// Acquire blocks until a token is available or ctx is done.
+// Acquire blocks until a token is available or ctx is done. A done ctx
+// wins over an available token: without the up-front check, select picks
+// randomly when both cases are ready, and after a cancellation roughly
+// half of the queued waiters would still grab tokens and start work.
 func (l Limiter) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case l <- struct{}{}:
 		return nil

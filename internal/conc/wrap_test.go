@@ -1,0 +1,45 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestWrapCanceled(t *testing.T) {
+	sentinel := errors.New("boom")
+	cases := []struct {
+		name string
+		in   error
+		want func(error) bool
+	}{
+		{"nil passes through", nil, func(e error) bool { return e == nil }},
+		{"unrelated passes through", sentinel, func(e error) bool { return e == sentinel }},
+		{"context.Canceled wraps both ways", context.Canceled, func(e error) bool {
+			return errors.Is(e, ErrCanceled) && errors.Is(e, context.Canceled)
+		}},
+		{"deadline wraps both ways", context.DeadlineExceeded, func(e error) bool {
+			return errors.Is(e, ErrCanceled) && errors.Is(e, context.DeadlineExceeded)
+		}},
+		{"nested canceled wraps", fmt.Errorf("layer: %w", context.Canceled), func(e error) bool {
+			return errors.Is(e, ErrCanceled) && errors.Is(e, context.Canceled)
+		}},
+	}
+	for _, tc := range cases {
+		if got := WrapCanceled(tc.in); !tc.want(got) {
+			t.Errorf("%s: WrapCanceled(%v) = %v", tc.name, tc.in, got)
+		}
+	}
+}
+
+// TestWrapCanceledIdempotent: wrapping an already-wrapped error must not
+// stack another "pipeline canceled:" prefix (each pipeline layer calls
+// WrapCanceled on the way up).
+func TestWrapCanceledIdempotent(t *testing.T) {
+	once := WrapCanceled(context.Canceled)
+	twice := WrapCanceled(once)
+	if twice != once {
+		t.Errorf("double wrap changed the error: %v -> %v", once, twice)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ageguard/internal/conc"
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
 	"ageguard/internal/sta"
 	"ageguard/internal/synth"
 	"ageguard/internal/units"
@@ -277,21 +278,29 @@ func summarize(aspect string, rows []Fig5Row) *Fig5Report {
 // Fig5a quantifies neglecting the mobility degradation: guardbands from
 // the Vth-only library versus the full (Vth + mu) library, over the given
 // circuits (paper: -19% on average).
+//
+// Deprecated: use Fig5aContext. This wrapper uses context.Background and
+// remains for existing callers.
 func (f Flow) Fig5a(circuits []string) (*Fig5Report, error) {
-	vth, err := f.VthOnlyLibrary()
+	return f.Fig5aContext(context.Background(), circuits)
+}
+
+// Fig5aContext is Fig5a with cancellation and tracing.
+func (f Flow) Fig5aContext(ctx context.Context, circuits []string) (*Fig5Report, error) {
+	vth, err := f.VthOnlyLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.fig5(circuits, "mu", func(nl *netlist.Netlist, full Guardband) (float64, error) {
-		fresh, err := f.FreshLibrary()
+	return f.fig5(ctx, circuits, "mu", func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error) {
+		fresh, err := f.FreshLibraryContext(ctx)
 		if err != nil {
 			return 0, err
 		}
-		fcp, err := f.CP(nl, fresh)
+		fcp, err := f.CPContext(ctx, nl, fresh)
 		if err != nil {
 			return 0, err
 		}
-		vcp, err := f.CP(nl, vth)
+		vcp, err := f.CPContext(ctx, nl, vth)
 		if err != nil {
 			return 0, err
 		}
@@ -301,18 +310,26 @@ func (f Flow) Fig5a(circuits []string) (*Fig5Report, error) {
 
 // Fig5b quantifies using a single OPC: guardbands from the single-OPC
 // scaled library versus the full library (paper: +214% on average).
+//
+// Deprecated: use Fig5bContext. This wrapper uses context.Background and
+// remains for existing callers.
 func (f Flow) Fig5b(circuits []string) (*Fig5Report, error) {
-	fresh, err := f.FreshLibrary()
+	return f.Fig5bContext(context.Background(), circuits)
+}
+
+// Fig5bContext is Fig5b with cancellation and tracing.
+func (f Flow) Fig5bContext(ctx context.Context, circuits []string) (*Fig5Report, error) {
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	single := SingleOPCLibrary(fresh, aged)
-	return f.fig5(circuits, "opc", func(nl *netlist.Netlist, full Guardband) (float64, error) {
-		scp, err := f.CP(nl, single)
+	return f.fig5(ctx, circuits, "opc", func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error) {
+		scp, err := f.CPContext(ctx, nl, single)
 		if err != nil {
 			return 0, err
 		}
@@ -323,17 +340,25 @@ func (f Flow) Fig5b(circuits []string) (*Fig5Report, error) {
 // Fig5c quantifies neglecting critical-path switching: the aged delay of
 // the *initially* critical path versus the true aged critical path
 // (paper: ~-6% on average).
+//
+// Deprecated: use Fig5cContext. This wrapper uses context.Background and
+// remains for existing callers.
 func (f Flow) Fig5c(circuits []string) (*Fig5Report, error) {
-	fresh, err := f.FreshLibrary()
+	return f.Fig5cContext(context.Background(), circuits)
+}
+
+// Fig5cContext is Fig5c with cancellation and tracing.
+func (f Flow) Fig5cContext(ctx context.Context, circuits []string) (*Fig5Report, error) {
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.fig5(circuits, "cpswitch", func(nl *netlist.Netlist, full Guardband) (float64, error) {
-		res, err := sta.Analyze(nl, fresh, f.STA)
+	return f.fig5(ctx, circuits, "cpswitch", func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error) {
+		res, err := sta.AnalyzeContext(ctx, nl, fresh, f.STA)
 		if err != nil {
 			return 0, err
 		}
@@ -348,22 +373,27 @@ func (f Flow) Fig5c(circuits []string) (*Fig5Report, error) {
 // fig5 runs the per-circuit comparison concurrently: each circuit's
 // synthesis + STA legs are independent (libraries are immutable and the
 // characterizer deduplicates concurrent requests), and every leg writes
-// only its own pre-indexed row, keeping report order deterministic.
-func (f Flow) fig5(circuits []string, aspect string,
-	baseline func(nl *netlist.Netlist, full Guardband) (float64, error)) (*Fig5Report, error) {
+// only its own pre-indexed row, keeping report order deterministic. Each
+// circuit leg is traced as a child of the "core.fig5" span.
+func (f Flow) fig5(ctx context.Context, circuits []string, aspect string,
+	baseline func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error)) (*Fig5Report, error) {
 
+	ctx, sp := obs.StartSpan(ctx, "core.fig5")
+	defer sp.End()
+	sp.SetAttr("aspect", aspect)
+	sp.SetAttr("circuits", len(circuits))
 	rows := make([]Fig5Row, len(circuits))
-	err := conc.ParFor(context.Background(), f.workers(), len(circuits), func(i int) error {
+	err := conc.ParFor(ctx, f.workers(), len(circuits), func(i int) error {
 		c := circuits[i]
-		nl, err := f.SynthesizeTraditional(c)
+		nl, err := f.SynthesizeTraditionalContext(ctx, c)
 		if err != nil {
 			return err
 		}
-		full, err := f.StaticGuardband(c, nl, aging.WorstCase(f.Lifetime))
+		full, err := f.StaticGuardbandContext(ctx, c, nl, aging.WorstCase(f.Lifetime))
 		if err != nil {
 			return err
 		}
-		base, err := baseline(nl, full)
+		base, err := baseline(ctx, nl, full)
 		if err != nil {
 			return err
 		}
@@ -371,6 +401,8 @@ func (f Flow) fig5(circuits []string, aspect string,
 		return nil
 	})
 	if err != nil {
+		err = conc.WrapCanceled(err)
+		sp.EndErr(err)
 		return nil, err
 	}
 	return summarize(aspect, rows), nil
@@ -409,32 +441,44 @@ type ContainmentRow struct {
 }
 
 // Containment runs the Fig. 6a/b comparison for one circuit.
+//
+// Deprecated: use ContainmentContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) Containment(circuit string) (ContainmentRow, error) {
+	return f.ContainmentContext(context.Background(), circuit)
+}
+
+// ContainmentContext runs the Fig. 6a/b comparison for one circuit,
+// traced under a "core.containment" span.
+func (f Flow) ContainmentContext(ctx context.Context, circuit string) (ContainmentRow, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.containment")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
 	var row ContainmentRow
 	row.Circuit = circuit
-	fresh, err := f.FreshLibrary()
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return row, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibraryContext(ctx)
 	if err != nil {
 		return row, err
 	}
-	trad, err := f.Synthesized(circuit, fresh)
+	trad, err := f.SynthesizedContext(ctx, circuit, fresh)
 	if err != nil {
 		return row, err
 	}
-	aware, err := f.Synthesized(circuit, aged)
+	aware, err := f.SynthesizedContext(ctx, circuit, aged)
 	if err != nil {
 		return row, err
 	}
-	if row.TradFreshCP, err = f.CP(trad, fresh); err != nil {
+	if row.TradFreshCP, err = f.CPContext(ctx, trad, fresh); err != nil {
 		return row, err
 	}
-	if row.TradAgedCP, err = f.CP(trad, aged); err != nil {
+	if row.TradAgedCP, err = f.CPContext(ctx, trad, aged); err != nil {
 		return row, err
 	}
-	if row.AwareAgedCP, err = f.CP(aware, aged); err != nil {
+	if row.AwareAgedCP, err = f.CPContext(ctx, aware, aged); err != nil {
 		return row, err
 	}
 	row.RequiredGB = row.TradAgedCP - row.TradFreshCP
@@ -463,10 +507,23 @@ type ContainmentReport struct {
 // ContainmentAll runs the comparison over the circuit list. Circuits are
 // analyzed concurrently (bounded by Flow.Parallelism) into pre-indexed
 // rows; the aggregation below stays serial and order-stable.
+//
+// Deprecated: use ContainmentAllContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) ContainmentAll(circuits []string) (*ContainmentReport, error) {
+	return f.ContainmentAllContext(context.Background(), circuits)
+}
+
+// ContainmentAllContext is ContainmentAll with cancellation: canceling
+// ctx stops circuit dispatch and all in-flight synthesis/characterization
+// work; the error then matches conc.ErrCanceled.
+func (f Flow) ContainmentAllContext(ctx context.Context, circuits []string) (*ContainmentReport, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.containment.all")
+	defer sp.End()
+	sp.SetAttr("circuits", len(circuits))
 	rows := make([]ContainmentRow, len(circuits))
-	err := conc.ParFor(context.Background(), f.workers(), len(circuits), func(i int) error {
-		row, err := f.Containment(circuits[i])
+	err := conc.ParFor(ctx, f.workers(), len(circuits), func(i int) error {
+		row, err := f.ContainmentContext(ctx, circuits[i])
 		if err != nil {
 			return err
 		}
@@ -474,6 +531,8 @@ func (f Flow) ContainmentAll(circuits []string) (*ContainmentReport, error) {
 		return nil
 	})
 	if err != nil {
+		err = conc.WrapCanceled(err)
+		sp.EndErr(err)
 		return nil, err
 	}
 	rep := &ContainmentReport{Rows: rows}
@@ -543,38 +602,50 @@ type TighteningRow struct {
 // timing identifies critical paths, fresh-library sizing re-optimizes
 // them. Its structural weakness — the re-optimization cannot see which
 // replacement cells age well — is exactly the paper's criticism.
+//
+// Deprecated: use IterativeTighteningContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) IterativeTightening(circuit string) (TighteningRow, error) {
+	return f.IterativeTighteningContext(context.Background(), circuit)
+}
+
+// IterativeTighteningContext is IterativeTightening with cancellation and
+// tracing.
+func (f Flow) IterativeTighteningContext(ctx context.Context, circuit string) (TighteningRow, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.tightening")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
 	var row TighteningRow
 	row.Circuit = circuit
-	fresh, err := f.FreshLibrary()
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return row, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibraryContext(ctx)
 	if err != nil {
 		return row, err
 	}
-	trad, err := f.Synthesized(circuit, fresh)
+	trad, err := f.SynthesizedContext(ctx, circuit, fresh)
 	if err != nil {
 		return row, err
 	}
-	freshCP, err := f.CP(trad, fresh)
+	freshCP, err := f.CPContext(ctx, trad, fresh)
 	if err != nil {
 		return row, err
 	}
-	tradAged, err := f.CP(trad, aged)
+	tradAged, err := f.CPContext(ctx, trad, aged)
 	if err != nil {
 		return row, err
 	}
-	tightened, err := synth.SizeGatesDual(trad, fresh, aged, f.Synth)
+	tightened, err := synth.SizeGatesDualContext(ctx, trad, fresh, aged, f.Synth)
 	if err != nil {
 		return row, err
 	}
-	tightAged, err := f.CP(tightened, aged)
+	tightAged, err := f.CPContext(ctx, tightened, aged)
 	if err != nil {
 		return row, err
 	}
-	aware, err := f.Containment(circuit)
+	aware, err := f.ContainmentContext(ctx, circuit)
 	if err != nil {
 		return row, err
 	}

@@ -15,7 +15,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 
@@ -26,6 +28,7 @@ import (
 	"ageguard/internal/liberty"
 	"ageguard/internal/logic"
 	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
 	"ageguard/internal/rtl"
 	"ageguard/internal/sta"
 	"ageguard/internal/synth"
@@ -63,13 +66,28 @@ func Default() Flow {
 
 // Library characterizes (or loads) the degradation-aware library for a
 // scenario.
+//
+// Deprecated: use LibraryContext. This wrapper uses context.Background
+// and remains for existing callers.
 func (f Flow) Library(s aging.Scenario) (*liberty.Library, error) {
-	return f.Char.Characterize(s)
+	return f.LibraryContext(context.Background(), s)
+}
+
+// LibraryContext characterizes (or loads) the degradation-aware library
+// for a scenario. Canceling ctx stops in-flight simulations within one
+// time step; the error then matches conc.ErrCanceled.
+func (f Flow) LibraryContext(ctx context.Context, s aging.Scenario) (*liberty.Library, error) {
+	return f.Char.CharacterizeContext(ctx, s)
 }
 
 // FreshLibrary returns the unaged (initial) library.
 func (f Flow) FreshLibrary() (*liberty.Library, error) {
 	return f.Library(aging.Fresh())
+}
+
+// FreshLibraryContext returns the unaged (initial) library.
+func (f Flow) FreshLibraryContext(ctx context.Context) (*liberty.Library, error) {
+	return f.LibraryContext(ctx, aging.Fresh())
 }
 
 // WorstLibrary returns the worst-case static-stress library
@@ -78,19 +96,39 @@ func (f Flow) WorstLibrary() (*liberty.Library, error) {
 	return f.Library(aging.WorstCase(f.Lifetime))
 }
 
+// WorstLibraryContext returns the worst-case static-stress library
+// (lambda = 1.0/1.0) at the flow lifetime.
+func (f Flow) WorstLibraryContext(ctx context.Context) (*liberty.Library, error) {
+	return f.LibraryContext(ctx, aging.WorstCase(f.Lifetime))
+}
+
 // VthOnlyLibrary returns the worst-case library characterized with the
 // mobility degradation disabled — the paper's model of state-of-the-art
 // Vth-only analyses (Fig. 5a).
 func (f Flow) VthOnlyLibrary() (*liberty.Library, error) {
+	return f.VthOnlyLibraryContext(context.Background())
+}
+
+// VthOnlyLibraryContext is VthOnlyLibrary with cancellation.
+func (f Flow) VthOnlyLibraryContext(ctx context.Context) (*liberty.Library, error) {
 	cfg := f.Char
 	cfg.VthOnly = true
-	return cfg.Characterize(aging.WorstCase(f.Lifetime))
+	return cfg.CharacterizeContext(ctx, aging.WorstCase(f.Lifetime))
 }
 
 // CompleteLibrary merges the libraries of the given scenarios into the
 // lambda-indexed complete library (paper Sec. 4.1).
+//
+// Deprecated: use CompleteLibraryContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) CompleteLibrary(scens []aging.Scenario) (*liberty.Merged, error) {
-	return f.Char.CompleteLibrary("complete", scens)
+	return f.CompleteLibraryContext(context.Background(), scens)
+}
+
+// CompleteLibraryContext merges the libraries of the given scenarios into
+// the lambda-indexed complete library (paper Sec. 4.1).
+func (f Flow) CompleteLibraryContext(ctx context.Context, scens []aging.Scenario) (*liberty.Merged, error) {
+	return f.Char.CompleteLibraryContext(ctx, "complete", scens)
 }
 
 // Benchmark returns the named evaluation circuit as a logic network.
@@ -103,26 +141,46 @@ func Benchmark(name string) (*logic.AIG, error) {
 }
 
 // Synthesized synthesizes the named benchmark with the given library,
-// using a disk cache keyed by (circuit, library) since the flow is
-// deterministic.
+// using a disk cache keyed by (circuit, library, configuration hash)
+// since the flow is deterministic.
+//
+// Deprecated: use SynthesizedContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) Synthesized(circuit string, lib *liberty.Library) (*netlist.Netlist, error) {
+	return f.SynthesizedContext(context.Background(), circuit, lib)
+}
+
+// SynthesizedContext synthesizes the named benchmark with the given
+// library, using the disk cache when Char.CacheDir is set. The run is
+// traced under a "core.synthesized" span; cache outcomes count under
+// core.netlist.cache.hits / core.netlist.cache.misses.
+func (f Flow) SynthesizedContext(ctx context.Context, circuit string, lib *liberty.Library) (*netlist.Netlist, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.synthesized")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
+	sp.SetAttr("lib", lib.Name)
+	reg := obs.From(ctx)
 	path := f.netlistCachePath(circuit, lib)
 	if path != "" {
 		if fh, err := os.Open(path); err == nil {
 			nl, err := netlist.Read(fh)
 			fh.Close()
 			if err == nil {
+				reg.Counter("core.netlist.cache.hits").Inc()
+				sp.SetAttr("cache", "hit")
 				return nl, nil
 			}
 		}
 	}
+	reg.Counter("core.netlist.cache.misses").Inc()
+	sp.SetAttr("cache", "miss")
 	a, err := Benchmark(circuit)
 	if err != nil {
 		return nil, err
 	}
-	nl, err := synth.Synthesize(a, lib, circuit, f.Synth)
+	nl, err := synth.SynthesizeContext(ctx, a, lib, circuit, f.Synth)
 	if err != nil {
-		return nil, err
+		return nil, conc.WrapCanceled(err)
 	}
 	if path != "" {
 		if err := storeNetlistCache(path, nl); err != nil {
@@ -159,39 +217,74 @@ func storeNetlistCache(path string, nl *netlist.Netlist) error {
 	return nil
 }
 
+// netlistCachePath keys cached netlists by circuit, library name and a
+// fingerprint of every configuration knob that shapes the synthesized
+// result: the full characterization config (the library name alone does
+// not encode grid axes or model constants) and the synthesis config. A
+// changed knob therefore can never silently reuse a stale netlist.
 func (f Flow) netlistCachePath(circuit string, lib *liberty.Library) string {
 	if f.Char.CacheDir == "" {
 		return ""
 	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "char=%016x|synth=%v", f.Char.Hash(), f.Synth)
 	return filepath.Join(f.Char.CacheDir,
-		fmt.Sprintf("netl_%s_%s_b%v.netl", circuit, lib.Name, f.Synth.Buffering))
+		fmt.Sprintf("netl_%s_%s_h%016x.netl", circuit, lib.Name, h.Sum64()))
 }
 
 // SynthesizeTraditional synthesizes the benchmark the conventional way,
 // with the initial (degradation-unaware) library.
+//
+// Deprecated: use SynthesizeTraditionalContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) SynthesizeTraditional(circuit string) (*netlist.Netlist, error) {
-	lib, err := f.FreshLibrary()
+	return f.SynthesizeTraditionalContext(context.Background(), circuit)
+}
+
+// SynthesizeTraditionalContext synthesizes the benchmark the conventional
+// way, with the initial (degradation-unaware) library.
+func (f Flow) SynthesizeTraditionalContext(ctx context.Context, circuit string) (*netlist.Netlist, error) {
+	lib, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.Synthesized(circuit, lib)
+	return f.SynthesizedContext(ctx, circuit, lib)
 }
 
 // SynthesizeAgingAware synthesizes with the worst-case degradation-aware
 // library (paper Sec. 4.3), yielding a netlist that is inherently more
 // resilient to aging, independent of workload.
+//
+// Deprecated: use SynthesizeAgingAwareContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) SynthesizeAgingAware(circuit string) (*netlist.Netlist, error) {
-	lib, err := f.WorstLibrary()
+	return f.SynthesizeAgingAwareContext(context.Background(), circuit)
+}
+
+// SynthesizeAgingAwareContext synthesizes with the worst-case
+// degradation-aware library (paper Sec. 4.3).
+func (f Flow) SynthesizeAgingAwareContext(ctx context.Context, circuit string) (*netlist.Netlist, error) {
+	lib, err := f.WorstLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.Synthesized(circuit, lib)
+	return f.SynthesizedContext(ctx, circuit, lib)
 }
 
 // CP runs STA and returns the critical-path delay of the netlist under
 // the library.
+//
+// Deprecated: use CPContext. This wrapper uses context.Background and
+// remains for existing callers.
 func (f Flow) CP(nl *netlist.Netlist, lib *liberty.Library) (float64, error) {
-	res, err := sta.Analyze(nl, lib, f.STA)
+	return f.CPContext(context.Background(), nl, lib)
+}
+
+// CPContext runs STA and returns the critical-path delay of the netlist
+// under the library, recording the analysis in the registry carried by
+// ctx.
+func (f Flow) CPContext(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library) (float64, error) {
+	res, err := sta.AnalyzeContext(ctx, nl, lib, f.STA)
 	if err != nil {
 		return 0, err
 	}
@@ -210,20 +303,34 @@ type Guardband struct {
 
 // StaticGuardband estimates the guardband of a netlist under a static
 // aging stress scenario.
+//
+// Deprecated: use StaticGuardbandContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) StaticGuardband(circuit string, nl *netlist.Netlist, s aging.Scenario) (Guardband, error) {
-	fresh, err := f.FreshLibrary()
+	return f.StaticGuardbandContext(context.Background(), circuit, nl, s)
+}
+
+// StaticGuardbandContext estimates the guardband of a netlist under a
+// static aging stress scenario, traced under a "core.guardband.static"
+// span.
+func (f Flow) StaticGuardbandContext(ctx context.Context, circuit string, nl *netlist.Netlist, s aging.Scenario) (Guardband, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.guardband.static")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
+	sp.SetAttr("scenario", s.String())
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return Guardband{}, err
 	}
-	aged, err := f.Library(s)
+	aged, err := f.LibraryContext(ctx, s)
 	if err != nil {
 		return Guardband{}, err
 	}
-	fcp, err := f.CP(nl, fresh)
+	fcp, err := f.CPContext(ctx, nl, fresh)
 	if err != nil {
 		return Guardband{}, err
 	}
-	acp, err := f.CP(nl, aged)
+	acp, err := f.CPContext(ctx, nl, aged)
 	if err != nil {
 		return Guardband{}, err
 	}
@@ -234,9 +341,24 @@ func (f Flow) StaticGuardband(circuit string, nl *netlist.Netlist, s aging.Scena
 // specific workload induces (paper Sec. 4.2): simulate the workload,
 // extract per-instance duty cycles, annotate the netlist with lambda
 // indexes, and time it against the complete degradation-aware library.
+//
+// Deprecated: use DynamicGuardbandContext. This wrapper uses
+// context.Background and remains for existing callers.
 func (f Flow) DynamicGuardband(circuit string, nl *netlist.Netlist,
 	stim func(step int) map[string]uint64, steps int) (Guardband, *netlist.Netlist, error) {
+	return f.DynamicGuardbandContext(context.Background(), circuit, nl, stim, steps)
+}
 
+// DynamicGuardbandContext is DynamicGuardband with cancellation (the
+// scenario fan-out behind the complete library dominates the cost and is
+// fully cancelable) and a "core.guardband.dynamic" trace span.
+func (f Flow) DynamicGuardbandContext(ctx context.Context, circuit string, nl *netlist.Netlist,
+	stim func(step int) map[string]uint64, steps int) (Guardband, *netlist.Netlist, error) {
+
+	ctx, sp := obs.StartSpan(ctx, "core.guardband.dynamic")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
+	sp.SetAttr("steps", steps)
 	sim, err := gatesim.New(nl)
 	if err != nil {
 		return Guardband{}, nil, err
@@ -252,19 +374,20 @@ func (f Flow) DynamicGuardband(circuit string, nl *netlist.Netlist,
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	merged, err := f.CompleteLibrary(scens)
+	sp.SetAttr("scenarios", len(scens))
+	merged, err := f.CompleteLibraryContext(ctx, scens)
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	fresh, err := f.FreshLibrary()
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	fcp, err := f.CP(nl, fresh)
+	fcp, err := f.CPContext(ctx, nl, fresh)
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	acp, err := f.CP(ann, &merged.Library)
+	acp, err := f.CPContext(ctx, ann, &merged.Library)
 	if err != nil {
 		return Guardband{}, nil, err
 	}

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ageguard/internal/aging"
+	"ageguard/internal/conc"
 	"ageguard/internal/gatesim"
 	"ageguard/internal/image"
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
 	"ageguard/internal/rtl"
 	"ageguard/internal/sta"
 )
@@ -51,32 +54,45 @@ type ImageOutcome struct {
 // performance of the traditionally synthesized circuits in the absence of
 // aging, so neither design gets a guardband; quality loss then directly
 // reflects sensitized timing errors in the aged gate-level simulation.
+//
+// Deprecated: use ImageStudyContext. This wrapper uses context.Background
+// and remains for existing callers.
 func (f Flow) ImageStudy(img *image.Gray, cases []ImageCase) ([]ImageOutcome, error) {
-	fresh, err := f.FreshLibrary()
+	return f.ImageStudyContext(context.Background(), img, cases)
+}
+
+// ImageStudyContext is ImageStudy with cancellation (checked between
+// cases, each of which is a full gate-level image simulation) and a
+// "core.imagestudy" trace span.
+func (f Flow) ImageStudyContext(ctx context.Context, img *image.Gray, cases []ImageCase) ([]ImageOutcome, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.imagestudy")
+	defer sp.End()
+	sp.SetAttr("cases", len(cases))
+	fresh, err := f.FreshLibraryContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	dctTrad, err := f.SynthesizeTraditional("DCT")
+	dctTrad, err := f.SynthesizeTraditionalContext(ctx, "DCT")
 	if err != nil {
 		return nil, err
 	}
-	idctTrad, err := f.SynthesizeTraditional("IDCT")
+	idctTrad, err := f.SynthesizeTraditionalContext(ctx, "IDCT")
 	if err != nil {
 		return nil, err
 	}
-	dctAware, err := f.SynthesizeAgingAware("DCT")
+	dctAware, err := f.SynthesizeAgingAwareContext(ctx, "DCT")
 	if err != nil {
 		return nil, err
 	}
-	idctAware, err := f.SynthesizeAgingAware("IDCT")
+	idctAware, err := f.SynthesizeAgingAwareContext(ctx, "IDCT")
 	if err != nil {
 		return nil, err
 	}
-	cpDCT, err := f.CP(dctTrad, fresh)
+	cpDCT, err := f.CPContext(ctx, dctTrad, fresh)
 	if err != nil {
 		return nil, err
 	}
-	cpIDCT, err := f.CP(idctTrad, fresh)
+	cpIDCT, err := f.CPContext(ctx, idctTrad, fresh)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +103,10 @@ func (f Flow) ImageStudy(img *image.Gray, cases []ImageCase) ([]ImageOutcome, er
 
 	var out []ImageOutcome
 	for _, c := range cases {
-		lib, err := f.Library(c.Scenario)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: image study canceled before case %s: %w", c.Label, conc.WrapCanceled(err))
+		}
+		lib, err := f.LibraryContext(ctx, c.Scenario)
 		if err != nil {
 			return nil, err
 		}
@@ -95,11 +114,11 @@ func (f Flow) ImageStudy(img *image.Gray, cases []ImageCase) ([]ImageOutcome, er
 		if c.Aware {
 			dctNl, idctNl = dctAware, idctAware
 		}
-		dctT, err := f.circuitTransform(dctNl, lib, period, "x", "y")
+		dctT, err := f.circuitTransform(ctx, dctNl, lib, period, "x", "y")
 		if err != nil {
 			return nil, fmt.Errorf("core: case %s DCT: %w", c.Label, err)
 		}
-		idctT, err := f.circuitTransform(idctNl, lib, period, "z", "y")
+		idctT, err := f.circuitTransform(ctx, idctNl, lib, period, "z", "y")
 		if err != nil {
 			return nil, fmt.Errorf("core: case %s IDCT: %w", c.Label, err)
 		}
@@ -114,10 +133,10 @@ func (f Flow) ImageStudy(img *image.Gray, cases []ImageCase) ([]ImageOutcome, er
 // 8-point transform. Rows are streamed through the 2-stage register
 // pipeline (input regs, output regs), so results emerge with a latency of
 // two cycles.
-func (f Flow) circuitTransform(nl *netlist.Netlist, lib *liberty.Library,
+func (f Flow) circuitTransform(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library,
 	period float64, inPrefix, outPrefix string) (image.Transform1DBatch, error) {
 
-	res, err := sta.Analyze(nl, lib, f.STA)
+	res, err := sta.AnalyzeContext(ctx, nl, lib, f.STA)
 	if err != nil {
 		return nil, err
 	}

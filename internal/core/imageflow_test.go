@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestCircuitTransformMatchesFixedPoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Generous clock: no timing errors possible.
-	tr, err := f.circuitTransform(nl, lib, res.CP*1.5, "x", "y")
+	tr, err := f.circuitTransform(context.Background(), nl, lib, res.CP*1.5, "x", "y")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestCircuitTransformErrsWhenOverclocked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := f.circuitTransform(nl, lib, res.CP*0.4, "x", "y")
+	tr, err := f.circuitTransform(context.Background(), nl, lib, res.CP*0.4, "x", "y")
 	if err != nil {
 		t.Fatal(err)
 	}

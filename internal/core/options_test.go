@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"ageguard/internal/char"
+	"ageguard/internal/sta"
+)
+
+func TestNewDefaults(t *testing.T) {
+	f := New()
+	d := Default()
+	if f.Lifetime != d.Lifetime || f.Char.CacheDir != d.Char.CacheDir {
+		t.Errorf("New() = %+v differs from Default() = %+v", f, d)
+	}
+}
+
+func TestNewOptionsApplyInOrder(t *testing.T) {
+	f := New(
+		WithLifetime(7),
+		WithParallelism(3),
+		WithCacheDir("first"),
+		WithCacheDir("second"),
+	)
+	if f.Lifetime != 7 {
+		t.Errorf("Lifetime = %v, want 7", f.Lifetime)
+	}
+	if f.Parallelism != 3 {
+		t.Errorf("Parallelism = %v, want 3", f.Parallelism)
+	}
+	if f.Char.CacheDir != "second" {
+		t.Errorf("CacheDir = %q, want last-wins %q", f.Char.CacheDir, "second")
+	}
+}
+
+func TestNewSubConfigOptions(t *testing.T) {
+	cc := char.New(char.WithCacheDir("cc"), char.WithParallelism(2))
+	sc := sta.New(sta.WithInputSlew(11), sta.WithWireCap(0.5))
+	f := New(WithCharConfig(cc), WithSTAConfig(sc))
+	if f.Char.CacheDir != "cc" || f.Char.Parallelism != 2 {
+		t.Errorf("char config not applied: %+v", f.Char)
+	}
+	if f.STA.InputSlew != 11 || f.STA.WireCap != 0.5 {
+		t.Errorf("sta config not applied: %+v", f.STA)
+	}
+}
+
+func TestWithCacheDirAfterCharConfig(t *testing.T) {
+	// WithCacheDir must compose with an earlier WithCharConfig instead of
+	// being clobbered by option ordering surprises.
+	f := New(WithCharConfig(char.New(char.WithCacheDir("a"))), WithCacheDir("b"))
+	if f.Char.CacheDir != "b" {
+		t.Errorf("CacheDir = %q, want %q", f.Char.CacheDir, "b")
+	}
+}

@@ -178,7 +178,9 @@ func (n *Netlist) Levelize(look Lookup) ([]*Inst, error) {
 		return nil, err
 	}
 	type state byte
-	const (white, grey, black state = 0, 1, 2)
+	const (
+		white, grey, black state = 0, 1, 2
+	)
 	st := make(map[*Inst]state, len(n.Insts))
 	order := make([]*Inst, 0, len(n.Insts))
 

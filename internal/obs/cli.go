@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// CLIFlags bundles the observability flags every pipeline command exposes:
+// -metrics (text summary on exit), -trace-out (JSON run-manifest), and
+// -pprof (live net/http/pprof endpoint for long sweeps).
+type CLIFlags struct {
+	Metrics  bool
+	TraceOut string
+	Pprof    string
+}
+
+// RegisterFlags installs the standard observability flags on fs (use
+// flag.CommandLine in main) and returns the holder to Setup with after
+// flag.Parse.
+func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	fs.BoolVar(&c.Metrics, "metrics", false, "print a metrics/span summary to stderr on exit")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write a JSON run-manifest (metrics + span tree) to this file on exit")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+	return c
+}
+
+// Setup wires a command run: it returns a context that carries a fresh
+// Registry and is canceled on SIGINT/SIGTERM (so Ctrl-C propagates into
+// in-flight simulations), starts the pprof server if requested, and
+// returns a finish func that flushes the configured sinks. Call finish
+// exactly once, before exiting — including on the error path.
+func (c *CLIFlags) Setup(parent context.Context) (context.Context, *Registry, func()) {
+	reg := NewRegistry()
+	ctx := With(parent, reg)
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	if c.Pprof != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(c.Pprof, nil); err != nil {
+				log.Printf("pprof server on %s: %v", c.Pprof, err)
+			}
+		}()
+	}
+	finish := func() {
+		stop()
+		if c.TraceOut != "" {
+			if err := reg.WriteManifest(c.TraceOut); err != nil {
+				log.Printf("trace-out: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote run manifest %s\n", c.TraceOut)
+			}
+		}
+		if c.Metrics {
+			if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}
+	}
+	return ctx, reg, finish
+}

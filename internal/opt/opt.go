@@ -1,0 +1,22 @@
+// Package opt is the shared functional-options pattern used by the
+// pipeline's configuration structs (char.Config, sta.Config, core.Flow):
+// each package aliases Option[T] for its config type and exports small
+// With* setters, so construction reads
+//
+//	cfg := char.New(char.WithParallelism(8), char.WithCacheDir(dir))
+//
+// instead of post-hoc field pokes on a half-initialized struct.
+package opt
+
+// Option mutates a configuration value under construction.
+type Option[T any] func(*T)
+
+// Apply returns base with every option applied in order.
+func Apply[T any](base T, opts ...Option[T]) T {
+	for _, o := range opts {
+		if o != nil {
+			o(&base)
+		}
+	}
+	return base
+}

@@ -1,0 +1,72 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ageguard/internal/conc"
+	"ageguard/internal/obs"
+	"ageguard/internal/units"
+)
+
+// TestRunContextCanceled: a canceled context stops the transient at the
+// next time step, the error matches both conc.ErrCanceled and
+// context.Canceled, and the spice.canceled counter records it.
+func TestRunContextCanceled(t *testing.T) {
+	c := New(vdd)
+	in := c.Input("in", Ramp{T0: 10 * units.Ps, Slew: 5 * units.Ps, V0: 0, V1: vdd})
+	out := c.Node("out")
+	c.R(in, out, 1000)
+	c.C(out, c.Gnd(), 10*units.FF)
+
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(obs.With(context.Background(), reg))
+	cancel()
+	_, err := c.RunContext(ctx, 100*units.Ps, Options{MaxStep: 0.2 * units.Ps})
+	if err == nil {
+		t.Fatal("canceled transient returned nil error")
+	}
+	if !errors.Is(err, conc.ErrCanceled) {
+		t.Errorf("error %v does not match conc.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not match context.Canceled", err)
+	}
+	if n := reg.Counter("spice.canceled").Value(); n != 1 {
+		t.Errorf("spice.canceled = %d, want 1", n)
+	}
+	// spice.transients counts attempts (deferred), so the canceled run
+	// still registers, but no steps were accepted.
+	if n := reg.Counter("spice.steps.accepted").Value(); n != 0 {
+		t.Errorf("spice.steps.accepted = %d for a pre-canceled run, want 0", n)
+	}
+}
+
+// TestRunContextMetrics: a completed transient records step and Newton
+// iteration counters plus a duration sample.
+func TestRunContextMetrics(t *testing.T) {
+	c := New(vdd)
+	in := c.Input("in", Ramp{T0: 10 * units.Ps, Slew: 5 * units.Ps, V0: 0, V1: vdd})
+	out := c.Node("out")
+	c.R(in, out, 1000)
+	c.C(out, c.Gnd(), 10*units.FF)
+
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), reg)
+	if _, err := c.RunContext(ctx, 100*units.Ps, Options{MaxStep: 0.2 * units.Ps}); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("spice.transients").Value(); n != 1 {
+		t.Errorf("spice.transients = %d, want 1", n)
+	}
+	if n := reg.Counter("spice.steps.accepted").Value(); n == 0 {
+		t.Error("spice.steps.accepted = 0")
+	}
+	if n := reg.Counter("spice.newton.iterations").Value(); n == 0 {
+		t.Error("spice.newton.iterations = 0")
+	}
+	if st := reg.Histogram("spice.transient.seconds").Stat(); st.Count != 1 {
+		t.Errorf("spice.transient.seconds count = %d, want 1", st.Count)
+	}
+}

@@ -29,11 +29,15 @@
 package spice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"ageguard/internal/conc"
 	"ageguard/internal/device"
+	"ageguard/internal/obs"
 	"ageguard/internal/units"
 )
 
@@ -193,11 +197,23 @@ type Result struct {
 // minimum time step.
 var ErrNoConvergence = errors.New("spice: newton iteration did not converge")
 
-// Run performs a transient analysis from t=0 to tstop. The circuit is
-// first settled: a DC-like relaxation with all waveforms held at their
+// Run performs a transient analysis from t=0 to tstop. It is RunContext
+// with a background context (never canceled).
+func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
+	return c.RunContext(context.Background(), tstop, opts)
+}
+
+// RunContext performs a transient analysis from t=0 to tstop. The circuit
+// is first settled: a DC-like relaxation with all waveforms held at their
 // t=0 values, so feedback structures (latches) reach a consistent state
 // before time begins.
-func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
+//
+// Cancellation of ctx is honoured at every time step, so an interrupted
+// sweep stops within one simulation step; the error then matches both
+// conc.ErrCanceled and the context's own error. Solver effort (accepted
+// and rejected steps, Newton iterations, wall time) is recorded into the
+// metrics registry carried by ctx (obs.From).
+func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (*Result, error) {
 	opts.fill(tstop)
 	nu := 0
 	for i := range c.nodes {
@@ -210,28 +226,57 @@ func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
 	}
 	s := &solver{c: c, nu: nu, opts: opts}
 	s.init()
+
+	reg := obs.From(ctx)
+	t0 := time.Now()
+	accepted, rejected := int64(0), int64(0)
+	defer func() {
+		reg.Counter("spice.transients").Inc()
+		reg.Counter("spice.steps.accepted").Add(accepted)
+		reg.Counter("spice.steps.rejected").Add(rejected)
+		reg.Counter("spice.newton.iterations").Add(s.iters)
+		reg.Histogram("spice.transient.seconds").Since(t0)
+	}()
+
+	// Check before the DC settle: it is the most expensive single solve of
+	// the run, and a canceled caller should not pay for it.
+	if err := ctx.Err(); err != nil {
+		reg.Counter("spice.canceled").Inc()
+		return nil, fmt.Errorf("spice: transient canceled before settle: %w",
+			conc.WrapCanceled(err))
+	}
 	if err := s.settle(); err != nil {
+		reg.Counter("spice.noconverge").Inc()
 		return nil, err
 	}
 	res := &Result{c: c}
 	res.append(0, s.volts())
 	t, h := 0.0, opts.MaxStep/16
 	for t < tstop {
+		if err := ctx.Err(); err != nil {
+			reg.Counter("spice.canceled").Inc()
+			return nil, fmt.Errorf("spice: transient canceled at t=%s: %w",
+				units.PsString(t), conc.WrapCanceled(err))
+		}
 		if t+h > tstop {
 			h = tstop - t
 		}
 		ok, dvmax := s.step(t+h, h)
 		switch {
 		case !ok:
+			rejected++
 			h /= 4
 			if h < opts.MinStep {
+				reg.Counter("spice.noconverge").Inc()
 				return nil, fmt.Errorf("%w at t=%s", ErrNoConvergence, units.PsString(t))
 			}
 		case dvmax > 2*opts.DVTarget && h > 64*opts.MinStep:
 			s.reject()
+			rejected++
 			h /= 2
 		default:
 			s.accept()
+			accepted++
 			t += h
 			res.append(t, s.volts())
 			if dvmax < opts.DVTarget/4 {
@@ -254,6 +299,8 @@ type solver struct {
 	rhs   []float64
 	dx    []float64
 	perm  []int
+
+	iters int64 // Newton iterations performed (incl. settle), for metrics
 }
 
 func (s *solver) init() {
@@ -336,6 +383,7 @@ func (s *solver) step(t, h float64) (bool, float64) {
 	}
 	const maxIter = 40
 	for iter := 0; iter < maxIter; iter++ {
+		s.iters++
 		s.assemble(h)
 		if !s.luSolve() {
 			return false, 0

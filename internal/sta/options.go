@@ -1,0 +1,29 @@
+package sta
+
+import "ageguard/internal/opt"
+
+// Option configures a Config under construction; see New.
+type Option = opt.Option[Config]
+
+// New returns a Config with the options applied over the zero value (whose
+// unset fields resolve to the documented defaults at analysis time):
+//
+//	cfg := sta.New(sta.WithOutputLoad(2 * units.FF))
+func New(opts ...Option) Config {
+	return opt.Apply(Config{}, opts...)
+}
+
+// WithInputSlew sets the slew assumed at primary inputs [s].
+func WithInputSlew(s float64) Option { return func(c *Config) { c.InputSlew = s } }
+
+// WithClockSlew sets the clock slew at sequential pins [s].
+func WithClockSlew(s float64) Option { return func(c *Config) { c.ClockSlew = s } }
+
+// WithOutputLoad sets the load on primary outputs [F].
+func WithOutputLoad(l float64) Option { return func(c *Config) { c.OutputLoad = l } }
+
+// WithWireCap sets the base wire capacitance per net [F].
+func WithWireCap(w float64) Option { return func(c *Config) { c.WireCap = w } }
+
+// WithWireCapFan sets the additional wire cap per extra fanout [F].
+func WithWireCapFan(w float64) Option { return func(c *Config) { c.WireCapFan = w } }

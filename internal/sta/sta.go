@@ -14,11 +14,14 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
 	"ageguard/internal/units"
 )
 
@@ -98,7 +101,30 @@ type pred struct {
 }
 
 // Analyze runs static timing analysis on the netlist against the library.
+//
+// Deprecated: use AnalyzeContext, which records timings into the run's
+// metrics registry. This wrapper uses context.Background and remains for
+// existing callers.
 func Analyze(n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), n, lib, cfg)
+}
+
+// AnalyzeContext runs static timing analysis on the netlist against the
+// library, counting the run (sta.analyses) and its wall time
+// (sta.analyze.seconds) in the registry carried by ctx. The analysis
+// itself is pure CPU work over in-memory tables and is not interruptible
+// mid-run; ctx is consulted once on entry so canceled pipelines stop
+// before starting another analysis.
+func AnalyzeContext(ctx context.Context, n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sta: %s: %w", n.Name, err)
+	}
+	reg := obs.From(ctx)
+	t0 := time.Now()
+	defer func() {
+		reg.Counter("sta.analyses").Inc()
+		reg.Histogram("sta.analyze.seconds").Since(t0)
+	}()
 	cfg.fill()
 	look := netlist.LibraryLookup(lib)
 	order, err := n.Levelize(look)

@@ -11,10 +11,10 @@ import (
 // cell pin i connects to cut leaf perm[i], with leaves in complMask
 // entering complemented (their negative polarity is consumed).
 type match struct {
-	base     string // cell base name, e.g. "NAND2"
-	perm     []int  // perm[cellPin] = leafIndex
+	base      string // cell base name, e.g. "NAND2"
+	perm      []int  // perm[cellPin] = leafIndex
 	complMask uint
-	ninputs  int
+	ninputs   int
 }
 
 // matchTable maps (leafCount, truth table) to candidate matches, built

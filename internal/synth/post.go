@@ -1,13 +1,16 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"ageguard/internal/liberty"
 	"ageguard/internal/logic"
 	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
 	"ageguard/internal/sta"
 	"ageguard/internal/units"
 )
@@ -20,7 +23,30 @@ import (
 // the fastest result *under the provided library* wins. The resulting
 // netlist is optimized for the delays in that library — hand it the
 // degradation-aware library and the circuit is optimized against aging.
+//
+// Deprecated: use SynthesizeContext, which supports cancellation between
+// optimization passes and records timings into the run's metrics registry.
+// This wrapper uses context.Background and remains for existing callers.
 func Synthesize(a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
+	return SynthesizeContext(context.Background(), a, lib, name, cfg)
+}
+
+// SynthesizeContext is Synthesize with cancellation and observability: ctx
+// is checked between mapping seeds and optimization rounds (each is pure
+// in-memory CPU work, so that is the natural interruption granularity),
+// and the run is traced under a "synth.synthesize" span with per-netlist
+// counters.
+func SynthesizeContext(ctx context.Context, a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
+	ctx, sp := obs.StartSpan(ctx, "synth.synthesize")
+	defer sp.End()
+	sp.SetAttr("circuit", name)
+	sp.SetAttr("lib", lib.Name)
+	reg := obs.From(ctx)
+	t0 := time.Now()
+	defer func() {
+		reg.Counter("synth.netlists").Inc()
+		reg.Histogram("synth.synthesize.seconds").Since(t0)
+	}()
 	cfg.fill()
 	// Seeds: two library-driven mappings plus three library-agnostic
 	// structural strategies shared by every library (so that comparisons
@@ -38,11 +64,15 @@ func Synthesize(a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*n
 	var nl *netlist.Netlist
 	bestCP := 0.0
 	for _, seed := range seeds {
-		cand, err := synthesizeOne(a, lib, name, seed)
+		if err := ctx.Err(); err != nil {
+			sp.EndErr(err)
+			return nil, fmt.Errorf("synth: %s: %w", name, err)
+		}
+		cand, err := synthesizeOne(ctx, a, lib, name, seed)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sta.Analyze(cand, lib, sta.Config{})
+		res, err := sta.AnalyzeContext(ctx, cand, lib, sta.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -52,33 +82,33 @@ func Synthesize(a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*n
 	}
 	// Post-selection polish: the winning netlist gets one more full
 	// sizing/buffering round before area recovery.
-	nl, err := SizeGates(nl, lib, cfg)
+	nl, err := sizeGates(ctx, nl, lib, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Buffering {
-		if nl, err = BufferCriticalNets(nl, lib, cfg); err != nil {
+		if nl, err = bufferCriticalNets(ctx, nl, lib, cfg); err != nil {
 			return nil, err
 		}
 	}
-	return RecoverArea(nl, lib, cfg)
+	return recoverArea(ctx, nl, lib, cfg)
 }
 
 // synthesizeOne is one mapping seed: map, register, fix design rules,
 // size, buffer.
-func synthesizeOne(a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
+func synthesizeOne(ctx context.Context, a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
 	nl, err := Map(a, lib, name, cfg)
 	if err != nil {
 		return nil, err
 	}
 	nl = WrapSequential(nl)
 	nl = FixDesignRules(nl, lib)
-	nl, err = SizeGates(nl, lib, cfg)
+	nl, err = sizeGates(ctx, nl, lib, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Buffering {
-		nl, err = BufferCriticalNets(nl, lib, cfg)
+		nl, err = bufferCriticalNets(ctx, nl, lib, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -141,9 +171,13 @@ func FixDesignRules(nl *netlist.Netlist, lib *liberty.Library) *netlist.Netlist 
 // observation that traditionally optimized circuits need large guardbands
 // while aging-aware synthesis contains them.
 func RecoverArea(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return recoverArea(context.Background(), nl, lib, cfg)
+}
+
+func recoverArea(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl
-	res, err := sta.Analyze(cur, lib, sta.Config{})
+	res, err := sta.AnalyzeContext(ctx, cur, lib, sta.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +205,7 @@ func RecoverArea(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlis
 		if changed == 0 {
 			continue
 		}
-		nres, err := sta.Analyze(next, lib, sta.Config{})
+		nres, err := sta.AnalyzeContext(ctx, next, lib, sta.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -189,9 +223,13 @@ func RecoverArea(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlis
 // changed pin capacitance), and keeps a round only when full STA confirms
 // the critical path improved.
 func SizeGates(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return sizeGates(context.Background(), nl, lib, cfg)
+}
+
+func sizeGates(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl
-	res, err := sta.Analyze(cur, lib, sta.Config{})
+	res, err := sta.AnalyzeContext(ctx, cur, lib, sta.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +256,7 @@ func SizeGates(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.
 		if changed == 0 {
 			break
 		}
-		nres, err := sta.Analyze(next, lib, sta.Config{})
+		nres, err := sta.AnalyzeContext(ctx, next, lib, sta.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -362,9 +400,13 @@ func slewOf(res *sta.Result, net string, e liberty.Edge) float64 {
 // behind a buffer, unloading the critical transition. Changes are kept
 // only when STA confirms an improvement.
 func BufferCriticalNets(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return bufferCriticalNets(context.Background(), nl, lib, cfg)
+}
+
+func bufferCriticalNets(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl
-	res, err := sta.Analyze(cur, lib, sta.Config{})
+	res, err := sta.AnalyzeContext(ctx, cur, lib, sta.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -409,7 +451,7 @@ func BufferCriticalNets(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (
 		if changed == 0 {
 			break
 		}
-		nres, err := sta.Analyze(next, lib, sta.Config{})
+		nres, err := sta.AnalyzeContext(ctx, next, lib, sta.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -438,15 +480,24 @@ func netExists(nl *netlist.Netlist, net string) bool {
 // analysis points at the paths that will become critical, but the
 // synthesis tool that re-optimizes them only knows the fresh library.
 // Rounds are accepted when the critLib critical path improves.
+//
+// Deprecated: use SizeGatesDualContext. This wrapper uses
+// context.Background and remains for existing callers.
 func SizeGatesDual(nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return SizeGatesDualContext(context.Background(), nl, costLib, critLib, cfg)
+}
+
+// SizeGatesDualContext is SizeGatesDual with cancellation between rounds
+// and STA timings recorded into the registry carried by ctx.
+func SizeGatesDualContext(ctx context.Context, nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl
-	crit, err := sta.Analyze(cur, critLib, sta.Config{})
+	crit, err := sta.AnalyzeContext(ctx, cur, critLib, sta.Config{})
 	if err != nil {
 		return nil, err
 	}
 	for round := 0; round < cfg.SizingRounds; round++ {
-		cost, err := sta.Analyze(cur, costLib, sta.Config{})
+		cost, err := sta.AnalyzeContext(ctx, cur, costLib, sta.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +518,7 @@ func SizeGatesDual(nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg C
 		if changed == 0 {
 			break
 		}
-		ncrit, err := sta.Analyze(next, critLib, sta.Config{})
+		ncrit, err := sta.AnalyzeContext(ctx, next, critLib, sta.Config{})
 		if err != nil {
 			return nil, err
 		}

@@ -28,14 +28,18 @@ func main() {
 		circuit = flag.String("circuit", "FFT", "benchmark circuit name")
 		all     = flag.Bool("all", false, "run every benchmark circuit")
 		years   = flag.Float64("years", 10, "projected lifetime in years")
+		retries = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
+		strict  = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *all, *years)
+	err := run(ctx, *circuit, *all, *years, *retries, *strict)
 	finish()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatal("deadline exceeded (-timeout)")
 	case errors.Is(err, conc.ErrCanceled):
 		log.Fatal("interrupted")
 	case err != nil:
@@ -43,10 +47,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, circuit string, all bool, years float64) error {
+func run(ctx context.Context, circuit string, all bool, years float64, retries int, strict bool) error {
 	ctx, sp := obs.StartSpan(ctx, "agesynth.run")
 	defer sp.End()
-	f := core.New(core.WithLifetime(years))
+	f := core.New(core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict))
 	circuits := []string{circuit}
 	if all {
 		circuits = core.BenchmarkCircuits()

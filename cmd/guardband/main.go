@@ -36,14 +36,18 @@ func main() {
 		years    = flag.Float64("years", 10, "projected lifetime in years")
 		steps    = flag.Int("steps", 32, "workload steps (x64 vectors) for dynamic stress")
 		seed     = flag.Int64("seed", 1, "workload seed for dynamic stress")
+		retries  = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
+		strict   = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *all, *scenario, *years, *steps, *seed)
+	err := run(ctx, *circuit, *all, *scenario, *years, *steps, *seed, *retries, *strict)
 	finish()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatal("deadline exceeded (-timeout)")
 	case errors.Is(err, conc.ErrCanceled):
 		log.Fatal("interrupted")
 	case err != nil:
@@ -51,10 +55,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64) error {
+func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64, retries int, strict bool) error {
 	ctx, sp := obs.StartSpan(ctx, "guardband.run")
 	defer sp.End()
-	f := core.New(core.WithLifetime(years))
+	f := core.New(core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict))
 	circuits := []string{circuit}
 	if all {
 		circuits = core.BenchmarkCircuits()

@@ -29,17 +29,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("imagepipe: ")
 	var (
-		out  = flag.String("out", "out", "output directory for PGM images")
-		size = flag.Int("size", 64, "synthetic test image size (multiple of 8)")
-		in   = flag.String("in", "", "input PGM image (overrides -size)")
+		out     = flag.String("out", "out", "output directory for PGM images")
+		size    = flag.Int("size", 64, "synthetic test image size (multiple of 8)")
+		in      = flag.String("in", "", "input PGM image (overrides -size)")
+		retries = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
+		strict  = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *out, *size, *in)
+	err := run(ctx, *out, *size, *in, *retries, *strict)
 	finish()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatal("deadline exceeded (-timeout)")
 	case errors.Is(err, conc.ErrCanceled):
 		log.Fatal("interrupted")
 	case err != nil:
@@ -47,7 +51,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out string, size int, in string) error {
+func run(ctx context.Context, out string, size int, in string, retries int, strict bool) error {
 	ctx, sp := obs.StartSpan(ctx, "imagepipe.run")
 	defer sp.End()
 	var img *image.Gray
@@ -72,7 +76,7 @@ func run(ctx context.Context, out string, size int, in string) error {
 		return err
 	}
 
-	f := core.New()
+	f := core.New(core.WithRetries(retries), core.WithStrict(strict))
 	cases := core.StandardImageCases()
 	fmt.Println("running DCT-IDCT gate-level simulations (this synthesizes and")
 	fmt.Println("characterizes on first run; results are cached under .libcache)")

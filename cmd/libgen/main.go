@@ -9,11 +9,21 @@
 //	libgen -out libs -years 10 -merged    # additionally write complete.alib
 //	libgen -grid -j 4                     # cap the simulation worker pool
 //	libgen -grid -metrics -trace-out run.json -pprof :6060
+//	libgen -grid -retries 4 -timeout 2h   # deeper solver ladder, time budget
+//	libgen -strict                        # refuse interpolated grid points
 //
 // Characterization runs on a worker pool using every CPU by default; -j
 // bounds it (1 = serial). Scenario output order is always deterministic.
 // Ctrl-C cancels the run cleanly: in-flight transient simulations stop
 // within one time step and no partial cache entries are left behind.
+//
+// Runs are fault tolerant by default: a non-convergent transient climbs a
+// solver escalation ladder (-retries rungs), isolated permanently failing
+// grid points are salvaged by neighbor interpolation (disable with
+// -strict), and a scenario that still fails does not abort the remaining
+// scenarios — libgen finishes the rest and exits nonzero listing the
+// failures. With a cache directory, completed cells are checkpointed on
+// disk, so a killed or crashed run resumes where it left off.
 package main
 
 import (
@@ -45,14 +55,18 @@ func main() {
 		cache  = flag.String("cache", char.RepoCacheDir(), "characterization cache directory ('' disables)")
 		par    = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 		cells  = flag.String("cells", "", "comma-separated cell subset (default: all cells)")
+		ret    = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
+		strict = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *out, *years, *grid, *merged, *libFmt, *cache, *par, *cells)
+	err := run(ctx, *out, *years, *grid, *merged, *libFmt, *cache, *par, *cells, *ret, *strict)
 	finish()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatal("deadline exceeded (-timeout)")
 	case errors.Is(err, conc.ErrCanceled):
 		log.Fatal("interrupted")
 	case err != nil:
@@ -60,13 +74,15 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, out string, years float64, grid, merged, libFmt bool, cache string, par int, cellList string) error {
+func run(ctx context.Context, out string, years float64, grid, merged, libFmt bool, cache string, par int, cellList string, retries int, strict bool) error {
 	ctx, sp := obs.StartSpan(ctx, "libgen.run")
 	defer sp.End()
 
 	cfg := char.New(
 		char.WithCacheDir(cache),
 		char.WithParallelism(par),
+		char.WithRetries(retries),
+		char.WithStrict(strict),
 	)
 	if cellList != "" {
 		cfg.Cells = strings.Split(cellList, ",")
@@ -84,7 +100,11 @@ func run(ctx context.Context, out string, years float64, grid, merged, libFmt bo
 		scenarios = append([]aging.Scenario{aging.Fresh()}, aging.GridScenarios(years)...)
 	}
 
+	// A permanently failing scenario is reported and skipped so the rest
+	// of the run (often hours of grid characterization) still completes;
+	// only cancellation — Ctrl-C or -timeout — aborts everything.
 	var libs []*liberty.Library
+	var failed []*char.ScenarioError
 	for i, s := range scenarios {
 		cfg.Progress = func(done, total int) {
 			fmt.Printf("\r[%d/%d] %-24s cell %d/%d   ", i+1, len(scenarios), s, done, total)
@@ -92,7 +112,12 @@ func run(ctx context.Context, out string, years float64, grid, merged, libFmt bo
 		lib, err := cfg.CharacterizeContext(ctx, s)
 		if err != nil {
 			fmt.Println()
-			return fmt.Errorf("scenario %s: %w", s, err)
+			if errors.Is(err, char.ErrCanceled) {
+				return err
+			}
+			log.Printf("scenario %s failed: %v", s, err)
+			failed = append(failed, &char.ScenarioError{Scenario: s, Err: err})
+			continue
 		}
 		libs = append(libs, lib)
 		path := filepath.Join(out, lib.Name+".alib")
@@ -107,13 +132,16 @@ func run(ctx context.Context, out string, years float64, grid, merged, libFmt bo
 		fmt.Printf("\r[%d/%d] %-24s -> %s%20s\n", i+1, len(scenarios), s, path, "")
 	}
 
-	if merged {
+	if merged && len(libs) > 0 {
 		m := liberty.MergeLibraries("complete", libs)
 		path := filepath.Join(out, "complete.alib")
 		if err := writeLib(path, &m.Library); err != nil {
 			return err
 		}
 		fmt.Printf("merged %d libraries (%d cells) -> %s\n", len(libs), len(m.Cells), path)
+	}
+	if len(failed) > 0 {
+		return &char.SweepError{Failed: failed, Total: len(scenarios)}
 	}
 	return nil
 }

@@ -40,14 +40,18 @@ func main() {
 		sdfOut   = flag.String("sdf", "", "write SDF delay annotation to this file")
 		vOut     = flag.String("verilog", "", "write structural Verilog to this file")
 		libOut   = flag.String("lib", "", "write the scenario's Liberty library to this file")
+		retries  = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
+		strict   = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *scenario, *years, *sdfOut, *vOut, *libOut)
+	err := run(ctx, *circuit, *scenario, *years, *sdfOut, *vOut, *libOut, *retries, *strict)
 	finish()
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Fatal("deadline exceeded (-timeout)")
 	case errors.Is(err, conc.ErrCanceled):
 		log.Fatal("interrupted")
 	case err != nil:
@@ -55,10 +59,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, circuit, scenario string, years float64, sdfOut, vOut, libOut string) error {
+func run(ctx context.Context, circuit, scenario string, years float64, sdfOut, vOut, libOut string, retries int, strict bool) error {
 	ctx, sp := obs.StartSpan(ctx, "stareport.run")
 	defer sp.End()
-	f := core.New(core.WithLifetime(years))
+	f := core.New(core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict))
 	var s aging.Scenario
 	switch scenario {
 	case "fresh":

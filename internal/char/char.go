@@ -88,6 +88,64 @@ type Config struct {
 	// never from two goroutines at once — with done strictly increasing
 	// from 1 to total, regardless of Parallelism.
 	Progress func(done, total int)
+
+	// Retries bounds the spice escalation ladder applied to every grid
+	// point: a non-convergent transient is re-run up to Retries more
+	// times with progressively conservative solver options before the
+	// point is declared failed. 0 selects DefaultRetries; negative
+	// values disable retrying entirely.
+	Retries int
+
+	// Strict disables grid-point salvage: a point that still fails after
+	// the retry ladder aborts characterization with a point-identifying
+	// error instead of being interpolated from converged neighbors.
+	// Strict runs also refuse cached libraries and checkpoint shards
+	// that contain salvaged points (they are rebuilt instead).
+	Strict bool
+
+	// FaultInject, when non-nil, is invoked before every transient
+	// attempt with the point identity and the retry rung (0 = first
+	// try); a non-nil return is treated as that attempt's failure. It is
+	// the deterministic fault-injection seam used by the regression
+	// tests to exercise retry, salvage, checkpoint-replay and
+	// partial-grid paths; production configurations leave it nil.
+	FaultInject func(p Point, attempt int) error
+
+	// CacheFault, when non-nil, is consulted before library-cache and
+	// checkpoint I/O with the operation ("load", "store", "ckpt.load",
+	// "ckpt.store") and the file path; a non-nil return is treated as
+	// that operation's I/O failure. Test seam; production leaves it nil.
+	CacheFault func(op, path string) error
+}
+
+// DefaultRetries is the depth of the solver escalation ladder applied to
+// non-convergent grid points when Config.Retries is zero.
+const DefaultRetries = 2
+
+// retries resolves the Retries knob (0 = DefaultRetries, negative = off).
+func (cfg Config) retries() int {
+	switch {
+	case cfg.Retries > 0:
+		return cfg.Retries
+	case cfg.Retries < 0:
+		return 0
+	default:
+		return DefaultRetries
+	}
+}
+
+// Point identifies one transient simulation of the OPC sweep — the unit
+// of retry, salvage and fault injection.
+type Point struct {
+	Cell string
+	Pin  string       // arc input pin (the clock pin for sequential cells)
+	Edge liberty.Edge // output edge being characterized
+	I, J int          // slew and load axis indices
+}
+
+// String renders the point for error messages and logs.
+func (p Point) String() string {
+	return fmt.Sprintf("%s/%s %s (%d,%d)", p.Cell, p.Pin, p.Edge, p.I, p.J)
 }
 
 // workers resolves the Parallelism knob.
@@ -167,6 +225,12 @@ func (cfg Config) CharacterizeContext(ctx context.Context, s aging.Scenario) (*l
 // simulation limiter, so nested fan-outs (scenarios x cells x grid points)
 // share one global concurrency bound.
 func (cfg Config) characterizeShared(ctx context.Context, s aging.Scenario, lim conc.Limiter) (*liberty.Library, error) {
+	// Validate the cell list before any cache I/O or simulation, so a bad
+	// Config.Cells entry surfaces as ErrNoCell immediately instead of
+	// leaking out of a cache or simulation layer minutes into a run.
+	if _, err := cfg.cellSet(); err != nil {
+		return nil, err
+	}
 	reg := obs.From(ctx)
 	lib, err := flight.Do(ctx, cfg.flightKey(s), func() (*liberty.Library, error) {
 		ctx, sp := obs.StartSpan(ctx, "char.library")
@@ -194,6 +258,9 @@ func (cfg Config) characterizeShared(ctx context.Context, s aging.Scenario, lim 
 		if err := cfg.storeCache(s, lib); err != nil {
 			return nil, fmt.Errorf("char: caching %s: %w", cfg.cachePath(s), err)
 		}
+		// The complete library landed on disk; per-cell checkpoint
+		// shards are now redundant.
+		cfg.clearCkpts(s)
 		reg.Counter("char.libraries").Inc()
 		return lib, nil
 	})
@@ -237,6 +304,12 @@ func (cfg Config) libName(s aging.Scenario) string {
 // silently reuse a stale entry characterized under the old grid. The
 // hashed structs are plain numeric data, so the canonical %v dump is
 // deterministic across processes and builds.
+//
+// Resilience knobs (Retries, Strict) and the fault-injection seams are
+// deliberately excluded: they never change the value of a converged grid
+// point, so libraries characterized under different ladders stay
+// interchangeable. Strict runs additionally refuse cached entries with
+// salvaged points at load time (see loadCache).
 func (cfg Config) Hash() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "tech=%v|model=%v|slews=%v|loads=%v|vthonly=%v|cells=%q",
@@ -262,6 +335,11 @@ func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, error) {
 		return nil, fmt.Errorf("char: cache disabled: %w", fs.ErrNotExist)
 	}
 	path := cfg.cachePath(s)
+	if cfg.CacheFault != nil {
+		if err := cfg.CacheFault("load", path); err != nil {
+			return nil, err
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -270,6 +348,15 @@ func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, error) {
 	lib, err := liberty.Read(f)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCacheCorrupt, path, err)
+	}
+	// Strict runs never reuse a library with interpolated points: treat
+	// it as a miss so it is recharacterized without salvage (and the
+	// clean result atomically replaces the salvaged entry).
+	if cfg.Strict {
+		if n := lib.SalvagedPoints(); n > 0 {
+			return nil, fmt.Errorf("char: %s has %d salvaged points (strict): %w",
+				path, n, fs.ErrNotExist)
+		}
 	}
 	// When restricted to named cells, verify the cached set covers them.
 	// (Unreachable while the hash embeds the cell list; kept as defense
@@ -296,10 +383,15 @@ func (cfg Config) storeCache(s aging.Scenario, lib *liberty.Library) error {
 	if cfg.CacheDir == "" {
 		return nil
 	}
+	path := cfg.cachePath(s)
+	if cfg.CacheFault != nil {
+		if err := cfg.CacheFault("store", path); err != nil {
+			return err
+		}
+	}
 	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
 		return err
 	}
-	path := cfg.cachePath(s)
 	f, err := os.CreateTemp(cfg.CacheDir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
@@ -361,7 +453,7 @@ func (cfg Config) characterize(ctx context.Context, s aging.Scenario, lim conc.L
 	results := make([]*liberty.CellTiming, len(set))
 	if lim.Cap() == 1 {
 		for i, c := range set {
-			ct, err := cfg.characterizeCell(ctx, lim, c, s)
+			ct, err := cfg.cellWithCheckpoint(ctx, lim, c, s)
 			if err != nil {
 				return nil, fmt.Errorf("char: cell %s under %s: %w", c.Name, s, err)
 			}
@@ -372,7 +464,7 @@ func (cfg Config) characterize(ctx context.Context, s aging.Scenario, lim conc.L
 		g, gctx := conc.NewGroup(ctx)
 		for i, c := range set {
 			g.Go(func() error {
-				ct, err := cfg.characterizeCell(gctx, lim, c, s)
+				ct, err := cfg.cellWithCheckpoint(gctx, lim, c, s)
 				if err != nil {
 					return fmt.Errorf("char: cell %s under %s: %w", c.Name, s, err)
 				}
@@ -524,6 +616,113 @@ func (cfg Config) CharacterizeAllContext(ctx context.Context, scenarios []aging.
 	return libs, nil
 }
 
+// ScenarioError is one scenario's permanent characterization failure
+// within a sweep.
+type ScenarioError struct {
+	Scenario aging.Scenario
+	Err      error
+}
+
+// Error renders the scenario and its cause.
+func (e *ScenarioError) Error() string {
+	return fmt.Sprintf("scenario %s: %v", e.Scenario, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ScenarioError) Unwrap() error { return e.Err }
+
+// SweepError aggregates the scenarios that failed permanently in a sweep
+// that was otherwise allowed to complete. It unwraps to every per-scenario
+// error, so errors.Is matches any of the underlying causes.
+type SweepError struct {
+	Failed []*ScenarioError
+	Total  int
+}
+
+// Error summarizes the failures.
+func (e *SweepError) Error() string {
+	msg := fmt.Sprintf("char: %d of %d scenarios failed", len(e.Failed), e.Total)
+	for _, f := range e.Failed {
+		msg += "\n  " + f.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes every scenario failure to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
+}
+
+// SweepOutcome is the result of a fault-tolerant scenario sweep. Libs is
+// parallel to Scenarios; a nil slot marks a scenario that failed (its
+// cause is in Failed).
+type SweepOutcome struct {
+	Scenarios []aging.Scenario
+	Libs      []*liberty.Library
+	Failed    []*ScenarioError
+}
+
+// Err returns nil when every scenario succeeded, and a *SweepError
+// otherwise.
+func (o *SweepOutcome) Err() error {
+	if len(o.Failed) == 0 {
+		return nil
+	}
+	return &SweepError{Failed: o.Failed, Total: len(o.Scenarios)}
+}
+
+// CharacterizeSweepContext characterizes the scenarios concurrently like
+// CharacterizeAllContext, but a permanently failing scenario no longer
+// aborts the rest of the sweep: its error is recorded (and counted under
+// char.sweep.failed) while every other scenario still completes. Only
+// cancellation stops the sweep early, returning an error matching
+// ErrCanceled. Callers inspect the outcome for partial results.
+func (cfg Config) CharacterizeSweepContext(ctx context.Context, scenarios []aging.Scenario) (*SweepOutcome, error) {
+	ctx, sp := obs.StartSpan(ctx, "char.sweep")
+	defer sp.End()
+	sp.SetAttr("scenarios", len(scenarios))
+	reg := obs.From(ctx)
+	lim := conc.NewLimiter(cfg.workers())
+	out := &SweepOutcome{
+		Scenarios: scenarios,
+		Libs:      make([]*liberty.Library, len(scenarios)),
+	}
+	errs := make([]*ScenarioError, len(scenarios))
+	err := conc.ParFor(ctx, cfg.workers(), len(scenarios), func(i int) error {
+		lib, err := cfg.characterizeShared(ctx, scenarios[i], lim)
+		switch {
+		case err == nil:
+			out.Libs[i] = lib
+			return nil
+		case errors.Is(err, ErrCanceled):
+			return err
+		default:
+			// Permanent failure: record it and keep sweeping.
+			errs[i] = &ScenarioError{Scenario: scenarios[i], Err: err}
+			reg.Counter("char.sweep.failed").Inc()
+			return nil
+		}
+	})
+	if err != nil {
+		err = conc.WrapCanceled(err)
+		sp.SetAttr("error", err)
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			out.Failed = append(out.Failed, e)
+		}
+	}
+	if len(out.Failed) > 0 {
+		sp.SetAttr("failed", len(out.Failed))
+	}
+	return out, nil
+}
+
 // GenerateGrid characterizes the full duty-cycle grid for the lifetime.
 //
 // Deprecated: use GenerateGridContext. This wrapper uses
@@ -534,20 +733,25 @@ func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) erro
 
 // GenerateGridContext characterizes the paper's full 11x11 duty-cycle
 // grid (121 libraries) for the given lifetime. Scenarios run concurrently
-// (see CharacterizeAllContext); visit is then invoked serially, in grid
-// order, once per library. Libraries are cached on disk when CacheDir is
-// set.
+// (see CharacterizeSweepContext); visit is then invoked serially, in grid
+// order, once per successfully characterized library. A permanently
+// failing scenario no longer aborts the remaining grid: the error
+// returned after the sweep is a *SweepError listing every failed
+// scenario, while all other libraries were still generated (and visited).
+// Cancellation returns an error matching ErrCanceled immediately.
 func (cfg Config) GenerateGridContext(ctx context.Context, years float64, visit func(*liberty.Library)) error {
-	libs, err := cfg.CharacterizeAllContext(ctx, aging.GridScenarios(years))
+	out, err := cfg.CharacterizeSweepContext(ctx, aging.GridScenarios(years))
 	if err != nil {
 		return err
 	}
 	if visit != nil {
-		for _, lib := range libs {
-			visit(lib)
+		for _, lib := range out.Libs {
+			if lib != nil {
+				visit(lib)
+			}
 		}
 	}
-	return nil
+	return out.Err()
 }
 
 // CompleteLibrary builds the merged lambda-indexed library.

@@ -1,0 +1,81 @@
+package char
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/obs"
+)
+
+// TestTruncatedCacheDetected truncates a valid .alib cache entry at every
+// byte boundary and asserts each truncation is detected as
+// ErrCacheCorrupt. The serializer's mandatory ENDLIB terminator makes
+// this exhaustive: any prefix that lost data also lost the terminator (or
+// cut a line mid-token), so no truncation can silently parse as a
+// smaller-but-valid library. The only byte that may be dropped without
+// detection is the final newline, after which the content is still
+// complete. A final round-trip verifies a truncated entry is rebuilt
+// atomically.
+func TestTruncatedCacheDetected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := TestConfig()
+	cfg.Cells = []string{"INV_X1"}
+	cfg.CacheDir = dir
+	s := aging.WorstCase(10)
+	if _, err := cfg.Characterize(s); err != nil {
+		t.Fatal(err)
+	}
+	path := cfg.cachePath(s)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 || !strings.HasSuffix(string(full), "ENDLIB\n") {
+		t.Fatalf("unexpected cache serialization (%d bytes)", len(full))
+	}
+
+	// Every proper prefix except the one missing only the trailing
+	// newline must fail to load as corrupt.
+	for n := 0; n < len(full)-1; n++ {
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, lerr := cfg.loadCache(s)
+		if !errors.Is(lerr, ErrCacheCorrupt) {
+			t.Fatalf("truncation at byte %d/%d: got %v, want ErrCacheCorrupt", n, len(full), lerr)
+		}
+	}
+
+	// Rebuild cycle: a truncated entry is replaced atomically; afterwards
+	// the cache loads cleanly and no temp files remain.
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), reg)
+	if _, err := cfg.CharacterizeContext(ctx, s); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("char.cache.corrupt").Value(); n != 1 {
+		t.Errorf("char.cache.corrupt = %d, want 1", n)
+	}
+	rebuilt, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rebuilt) != string(full) {
+		t.Error("rebuilt cache entry differs from the original serialization")
+	}
+	if _, err := cfg.loadCache(s); err != nil {
+		t.Errorf("cache entry unreadable after rebuild: %v", err)
+	}
+	for _, e := range mustReadDir(t, dir) {
+		if strings.Contains(e, ".tmp") {
+			t.Errorf("stray temp file %s after rebuild", e)
+		}
+	}
+}

@@ -44,3 +44,12 @@ func WithParallelism(n int) Option { return func(c *Config) { c.Parallelism = n 
 func WithProgress(fn func(done, total int)) Option {
 	return func(c *Config) { c.Progress = fn }
 }
+
+// WithRetries sets the depth of the solver escalation ladder applied to
+// non-convergent grid points (0 = DefaultRetries, negative = disabled).
+func WithRetries(n int) Option { return func(c *Config) { c.Retries = n } }
+
+// WithStrict toggles strict mode: failed grid points abort
+// characterization instead of being salvaged by interpolation, and cached
+// results containing salvaged points are rebuilt.
+func WithStrict(on bool) Option { return func(c *Config) { c.Strict = on } }

@@ -1,0 +1,130 @@
+package char
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ageguard/internal/liberty"
+	"ageguard/internal/obs"
+)
+
+// ErrSalvage reports grid points that failed permanently (the retry
+// ladder exhausted) and violated the salvage policy — too many failures
+// per arc, or two failures adjacent on the grid — so their values could
+// not be trusted to interpolation. Matchable with errors.Is.
+var ErrSalvage = errors.New("char: unsalvageable grid points")
+
+// salvageBudget is the per-arc cap on salvaged points: 5% of the arc's
+// grid points (both edges), but always at least one. Beyond it, failures
+// are no longer "isolated glitches" and the arc must be fixed, not
+// papered over.
+func (cfg Config) salvageBudget() int {
+	b := 2 * len(cfg.Slews) * len(cfg.Loads) / 20
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// failGrid records, per output edge and grid index, the post-ladder
+// convergence failure of that transient (nil = converged). Workers write
+// distinct slots, so no locking is needed — the same discipline as the
+// table Values themselves.
+type failGrid [2][][]error
+
+func newFailGrid(ns, nl int) *failGrid {
+	var g failGrid
+	for e := range g {
+		g[e] = make([][]error, ns)
+		for i := range g[e] {
+			g[e][i] = make([]error, nl)
+		}
+	}
+	return &g
+}
+
+// salvageArc repairs an arc whose sweep left failed grid points, within
+// policy: at most salvageBudget points, and never two failures adjacent
+// on the same edge's grid (Manhattan distance 1) — adjacency would force
+// interpolating from another interpolation. Repaired entries are the mean
+// of the in-bounds 4-neighbors (all converged, by non-adjacency) in both
+// the delay and output-slew tables; each is recorded in arc.Salvaged and
+// counted under char.salvaged. Policy violations return an error wrapping
+// both ErrSalvage and the first underlying solver failure.
+func (cfg Config) salvageArc(ctx context.Context, base Point, arc *liberty.Arc, g *failGrid) error {
+	// Deterministic (edge, slew, load) collection order keeps error
+	// messages and Salvaged ordering stable across parallelism settings.
+	var pts []liberty.SalvagePoint
+	var firstErr error
+	for e := range g {
+		for i := range g[e] {
+			for j, err := range g[e][i] {
+				if err != nil {
+					pts = append(pts, liberty.SalvagePoint{Edge: liberty.Edge(e), I: i, J: j})
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+			}
+		}
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	if budget := cfg.salvageBudget(); len(pts) > budget {
+		return fmt.Errorf("%w: %d failed points exceed the %d-point budget (first: %s): %w",
+			ErrSalvage, len(pts), budget, cfg.pointAt(base, pts[0]), firstErr)
+	}
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			if pts[a].Edge != pts[b].Edge {
+				continue
+			}
+			if absInt(pts[a].I-pts[b].I)+absInt(pts[a].J-pts[b].J) == 1 {
+				return fmt.Errorf("%w: adjacent failed points %s and %s: %w",
+					ErrSalvage, cfg.pointAt(base, pts[a]), cfg.pointAt(base, pts[b]), firstErr)
+			}
+		}
+	}
+	reg := obs.From(ctx)
+	for _, sp := range pts {
+		for _, t := range []*liberty.Table{arc.Delay[sp.Edge], arc.OutSlew[sp.Edge]} {
+			if t == nil {
+				continue
+			}
+			t.Values[sp.I][sp.J] = neighborMean(t, sp.I, sp.J)
+		}
+		arc.Salvaged = append(arc.Salvaged, sp)
+		reg.Counter("char.salvaged").Inc()
+	}
+	return nil
+}
+
+// pointAt rebinds the arc-level base point to a specific grid slot.
+func (cfg Config) pointAt(base Point, sp liberty.SalvagePoint) Point {
+	base.Edge, base.I, base.J = sp.Edge, sp.I, sp.J
+	return base
+}
+
+// neighborMean averages the in-bounds 4-neighborhood of (i, j).
+func neighborMean(t *liberty.Table, i, j int) float64 {
+	var sum float64
+	var n int
+	for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+		ni, nj := i+d[0], j+d[1]
+		if ni < 0 || ni >= len(t.Values) || nj < 0 || nj >= len(t.Values[ni]) {
+			continue
+		}
+		sum += t.Values[ni][nj]
+		n++
+	}
+	return sum / float64(n)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

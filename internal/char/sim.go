@@ -55,7 +55,14 @@ type measurement struct {
 // appends — so results are bit-identical to the serial sweep regardless of
 // completion order. With a single-token limiter the plain nested loops run
 // inline instead, preserving the exact serial execution.
-func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.Arc,
+//
+// A point whose transient still fails to converge after the retry ladder
+// does not abort the sweep (unless Config.Strict): its failure is
+// recorded in a per-slot grid and, once every other point has finished,
+// salvageArc repairs the isolated holes by neighbor interpolation — or
+// fails the arc with a point-identifying error when the failures exceed
+// the salvage policy.
+func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, base Point, arc *liberty.Arc,
 	sim func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error)) error {
 
 	edges := []liberty.Edge{liberty.Rise, liberty.Fall}
@@ -63,11 +70,20 @@ func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.
 		arc.Delay[e] = liberty.NewTable(cfg.Slews, cfg.Loads)
 		arc.OutSlew[e] = liberty.NewTable(cfg.Slews, cfg.Loads)
 	}
+	failed := newFailGrid(len(cfg.Slews), len(cfg.Loads))
 	point := func(ctx context.Context, e liberty.Edge, i, j int) error {
 		m, err := sim(ctx, e, i, j)
 		if err != nil {
-			return fmt.Errorf("%s slew=%s load=%s: %w",
+			err = fmt.Errorf("%s slew=%s load=%s: %w",
 				e, units.PsString(cfg.Slews[i]), units.FFString(cfg.Loads[j]), err)
+			// Permanent convergence failures become salvage candidates;
+			// cancellations, measurement errors and Strict-mode runs
+			// abort the arc immediately.
+			if !cfg.Strict && spice.Classify(err) == spice.FailConvergence {
+				failed[e][i][j] = err
+				return nil
+			}
+			return err
 		}
 		arc.Delay[e].Values[i][j] = m.delay
 		arc.OutSlew[e].Values[i][j] = m.slew
@@ -86,7 +102,7 @@ func (cfg Config) gridSweep(ctx context.Context, lim conc.Limiter, arc *liberty.
 				}
 			}
 		}
-		return nil
+		return cfg.salvageArc(ctx, base, arc, failed)
 	}
 	// Bound live point goroutines by the limiter capacity instead of
 	// spawning one per grid point: a sweep-wide flood (tens of thousands
@@ -118,16 +134,21 @@ dispatch:
 	// Dispatch may have stopped early on a parent cancellation that no
 	// in-flight task happened to observe; an incomplete sweep must not
 	// return a nil error.
-	return conc.WrapCanceled(ctx.Err())
+	if err := conc.WrapCanceled(ctx.Err()); err != nil {
+		return err
+	}
+	return cfg.salvageArc(ctx, base, arc, failed)
 }
 
 // combArc characterizes one combinational arc over the full OPC grid.
 func (cfg Config) combArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario, spec ArcSpec) (*liberty.Arc, error) {
 	arc := &liberty.Arc{Pin: spec.Pin, Sense: spec.Sense, When: spec.When}
 	pi := c.PinIndex(spec.Pin)
-	err := cfg.gridSweep(ctx, lim, arc, func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error) {
+	base := Point{Cell: c.Name, Pin: spec.Pin}
+	err := cfg.gridSweep(ctx, lim, base, arc, func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error) {
 		inEdge := spec.Sense.InputEdge(outEdge)
-		return cfg.simComb(ctx, c, s, spec, pi, inEdge, outEdge, cfg.Slews[i], cfg.Loads[j])
+		p := Point{Cell: c.Name, Pin: spec.Pin, Edge: outEdge, I: i, J: j}
+		return cfg.simComb(ctx, c, s, spec, p, pi, inEdge, outEdge, cfg.Slews[i], cfg.Loads[j])
 	})
 	if err != nil {
 		return nil, err
@@ -135,8 +156,17 @@ func (cfg Config) combArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, 
 	return arc, nil
 }
 
+// solverOpts binds the per-point fault-injection seam (if any) into the
+// solver options; p identifies the grid point to the hook.
+func (cfg Config) solverOpts(opts spice.Options, p Point) spice.Options {
+	if cfg.FaultInject != nil {
+		opts.FaultHook = func(attempt int) error { return cfg.FaultInject(p, attempt) }
+	}
+	return opts
+}
+
 func (cfg Config) simComb(ctx context.Context, c *cells.Cell, s aging.Scenario, spec ArcSpec,
-	pi int, inEdge, outEdge liberty.Edge, slew, load float64) (measurement, error) {
+	p Point, pi int, inEdge, outEdge liberty.Edge, slew, load float64) (measurement, error) {
 
 	vdd := cfg.Tech.Vdd
 	ckt, nodes := cfg.build(c, s)
@@ -162,7 +192,8 @@ func (cfg Config) simComb(ctx context.Context, c *cells.Cell, s aging.Scenario, 
 	ckt.C(out, ckt.Gnd(), load)
 
 	tstop := t0 + slew + 3*units.Ns
-	res, err := ckt.RunContext(ctx, tstop, spice.Options{MaxStep: 25 * units.Ps})
+	opts := cfg.solverOpts(spice.Options{MaxStep: 25 * units.Ps}, p)
+	res, err := ckt.RunRetryContext(ctx, tstop, opts, cfg.retries())
 	if err != nil {
 		return measurement{}, err
 	}
@@ -183,8 +214,10 @@ func (cfg Config) simComb(ctx context.Context, c *cells.Cell, s aging.Scenario, 
 // initialized to the opposite state so the clock edge produces a Q toggle.
 func (cfg Config) clockArc(ctx context.Context, lim conc.Limiter, c *cells.Cell, s aging.Scenario) (*liberty.Arc, error) {
 	arc := &liberty.Arc{Pin: c.Clock, Sense: liberty.PositiveUnate}
-	err := cfg.gridSweep(ctx, lim, arc, func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error) {
-		m, err := cfg.simClock(ctx, c, s, outEdge, cfg.Slews[i], cfg.Loads[j])
+	base := Point{Cell: c.Name, Pin: c.Clock}
+	err := cfg.gridSweep(ctx, lim, base, arc, func(ctx context.Context, outEdge liberty.Edge, i, j int) (measurement, error) {
+		p := Point{Cell: c.Name, Pin: c.Clock, Edge: outEdge, I: i, J: j}
+		m, err := cfg.simClock(ctx, c, s, p, outEdge, cfg.Slews[i], cfg.Loads[j])
 		if err != nil {
 			return m, fmt.Errorf("CK->Q: %w", err)
 		}
@@ -197,7 +230,7 @@ func (cfg Config) clockArc(ctx context.Context, lim conc.Limiter, c *cells.Cell,
 }
 
 func (cfg Config) simClock(ctx context.Context, c *cells.Cell, s aging.Scenario,
-	outEdge liberty.Edge, slew, load float64) (measurement, error) {
+	p Point, outEdge liberty.Edge, slew, load float64) (measurement, error) {
 
 	vdd := cfg.Tech.Vdd
 	ckt, nodes := cfg.build(c, s)
@@ -220,15 +253,15 @@ func (cfg Config) simClock(ctx context.Context, c *cells.Cell, s aging.Scenario,
 		"n6": vdd - hold,
 		"Q":  hold,
 	}
-	opts := spice.Options{
+	opts := cfg.solverOpts(spice.Options{
 		MaxStep: 25 * units.Ps,
 		InitV: func(name string) (float64, bool) {
 			v, ok := init[name]
 			return v, ok
 		},
-	}
+	}, p)
 	tstop := t0 + slew + 3*units.Ns
-	res, err := ckt.RunContext(ctx, tstop, opts)
+	res, err := ckt.RunRetryContext(ctx, tstop, opts, cfg.retries())
 	if err != nil {
 		return measurement{}, err
 	}

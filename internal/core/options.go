@@ -35,3 +35,11 @@ func WithSynthConfig(cfg synth.Config) Option { return func(f *Flow) { f.Synth =
 // WithCacheDir points the library and netlist caches at dir ("" disables
 // both).
 func WithCacheDir(dir string) Option { return func(f *Flow) { f.Char.CacheDir = dir } }
+
+// WithRetries sets the characterization solver retry-ladder depth
+// (0 = char.DefaultRetries, negative = disabled).
+func WithRetries(n int) Option { return func(f *Flow) { f.Char.Retries = n } }
+
+// WithStrict toggles strict characterization: failed grid points abort
+// instead of being salvaged by interpolation.
+func WithStrict(on bool) Option { return func(f *Flow) { f.Char.Strict = on } }

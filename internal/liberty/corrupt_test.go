@@ -1,0 +1,88 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSalvageRoundTrip: salvage markers survive Write/Read and land on
+// the right arc, edge and indices.
+func TestSalvageRoundTrip(t *testing.T) {
+	l := testLibrary()
+	ct := l.Cells["NAND2_X1"]
+	ct.Arcs[0].Salvaged = []SalvagePoint{{Edge: Rise, I: 0, J: 1}, {Edge: Fall, I: 1, J: 0}}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SALV rise 0 1") {
+		t.Error("serialization lacks the SALV rise marker")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := got.Cells["NAND2_X1"].Arcs
+	want := []SalvagePoint{{Edge: Rise, I: 0, J: 1}, {Edge: Fall, I: 1, J: 0}}
+	if len(arcs[0].Salvaged) != 2 || arcs[0].Salvaged[0] != want[0] || arcs[0].Salvaged[1] != want[1] {
+		t.Errorf("Salvaged after round trip = %v, want %v", arcs[0].Salvaged, want)
+	}
+	if n := got.SalvagedPoints(); n != 2 {
+		t.Errorf("SalvagedPoints = %d, want 2", n)
+	}
+}
+
+// TestSalvagedPointsEmpty: a fully simulated library reports zero.
+func TestSalvagedPointsEmpty(t *testing.T) {
+	if n := testLibrary().SalvagedPoints(); n != 0 {
+		t.Errorf("SalvagedPoints = %d on a clean library, want 0", n)
+	}
+}
+
+// TestMissingEndlibRejected: the ENDLIB terminator is mandatory, so a
+// file that simply stops early — the signature of a truncated writer —
+// fails to parse instead of silently yielding a smaller library.
+func TestMissingEndlibRejected(t *testing.T) {
+	l := testLibrary()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	if !strings.HasSuffix(full, "ENDLIB\n") {
+		t.Fatalf("serialization does not end with ENDLIB")
+	}
+	cut := strings.TrimSuffix(full, "ENDLIB\n")
+	if _, err := Read(strings.NewReader(cut)); err == nil {
+		t.Fatal("library without ENDLIB parsed successfully")
+	} else if !strings.Contains(err.Error(), "ENDLIB") {
+		t.Errorf("error %v does not mention the missing terminator", err)
+	}
+	// An empty file is the degenerate truncation.
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input parsed successfully")
+	}
+}
+
+// TestShortLinesRejected: lines cut mid-token by a truncation surface as
+// parse errors on every header type, never index panics.
+func TestShortLinesRejected(t *testing.T) {
+	cases := []string{
+		"LIBRARY",
+		"LIBRARY l\nSCENARIO 1 2 3",
+		"LIBRARY l\nVDD",
+		"LIBRARY l\nCELL A B",
+		"LIBRARY l\nCELL A B 1 2\nOUTPUT",
+		"LIBRARY l\nCELL A B 1 2\nPINCAP A",
+		"LIBRARY l\nCELL A B 1 2\nSEQ CK D 1",
+		"LIBRARY l\nCELL A B 1 2\nARC A positive_unate",
+		"LIBRARY l\nSLEWS 1 2\nLOADS 1 2\nCELL A B 1 2\nARC A positive_unate 0\nTABLE delay",
+		"LIBRARY l\nSLEWS 1 2\nLOADS 1 2\nCELL A B 1 2\nARC A positive_unate 0\nSALV rise 0",
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("short input %q parsed successfully", in)
+		}
+	}
+}

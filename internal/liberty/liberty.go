@@ -123,6 +123,20 @@ type Arc struct {
 	// driven by an input rise; for negative-unate, by an input fall.
 	Delay   [2]*Table // indexed by Edge of the OUTPUT transition
 	OutSlew [2]*Table
+
+	// Salvaged lists grid points whose transient simulation failed
+	// permanently and whose table entries were interpolated from
+	// converged neighbors instead (see package char). Empty for fully
+	// simulated arcs. The markers survive .alib serialization so cached
+	// libraries disclose their provenance.
+	Salvaged []SalvagePoint
+}
+
+// SalvagePoint identifies one interpolated (salvaged) grid point of an
+// arc: the output edge and the slew/load axis indices.
+type SalvagePoint struct {
+	Edge Edge
+	I, J int
 }
 
 // Sense is the polarity relation between input and output transitions.
@@ -223,6 +237,18 @@ func (l *Library) MustCell(name string) *CellTiming {
 		panic(fmt.Sprintf("liberty: library %q has no cell %q", l.Name, name))
 	}
 	return c
+}
+
+// SalvagedPoints counts the interpolated (salvaged) grid points across
+// all cells and arcs; 0 means every table entry was simulated.
+func (l *Library) SalvagedPoints() int {
+	n := 0
+	for _, ct := range l.Cells {
+		for i := range ct.Arcs {
+			n += len(ct.Arcs[i].Salvaged)
+		}
+	}
+	return n
 }
 
 // CellNames returns all cell names, sorted.

@@ -45,6 +45,9 @@ func Write(w io.Writer, l *Library) error {
 					writeTable(bw, a.OutSlew[e])
 				}
 			}
+			for _, sp := range a.Salvaged {
+				fmt.Fprintf(bw, "SALV %s %d %d\n", sp.Edge, sp.I, sp.J)
+			}
 		}
 		fmt.Fprintln(bw, "ENDCELL")
 	}
@@ -66,7 +69,11 @@ func writeTable(w io.Writer, t *Table) {
 	}
 }
 
-// Read parses a library previously produced by Write.
+// Read parses a library previously produced by Write. The ENDLIB
+// terminator is mandatory: a file that ends before it — e.g. a cache
+// entry truncated by a crashed or killed writer — is rejected rather
+// than silently parsed as a smaller library, so cache loaders can detect
+// every prefix truncation as corruption and rebuild.
 func Read(r io.Reader) (*Library, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -108,6 +115,15 @@ func (p *parser) next() ([]string, error) {
 
 func (p *parser) unread(f []string) { p.peeked = f }
 
+// need guards field accesses against lines a truncation cut mid-token:
+// they must surface as parse errors, never index panics.
+func need(f []string, n int) error {
+	if len(f) < n {
+		return fmt.Errorf("short %s line", f[0])
+	}
+	return nil
+}
+
 func parseFloats(fields []string) ([]float64, error) {
 	out := make([]float64, len(fields))
 	for i, f := range fields {
@@ -125,21 +141,30 @@ func (p *parser) library() (*Library, error) {
 	for {
 		f, err := p.next()
 		if err == io.EOF {
-			return l, nil
+			return nil, fmt.Errorf("truncated library: missing ENDLIB terminator")
 		}
 		if err != nil {
 			return nil, err
 		}
 		switch f[0] {
 		case "LIBRARY":
+			if err := need(f, 2); err != nil {
+				return nil, err
+			}
 			l.Name = f[1]
 		case "SCENARIO":
+			if err := need(f, 6); err != nil {
+				return nil, err
+			}
 			v, err := parseFloats(f[1:6])
 			if err != nil {
 				return nil, err
 			}
 			l.Scenario = aging.Scenario{Years: v[0], TempK: v[1], Vdd: v[2], LambdaP: v[3], LambdaN: v[4]}
 		case "VDD":
+			if err := need(f, 2); err != nil {
+				return nil, err
+			}
 			v, err := strconv.ParseFloat(f[1], 64)
 			if err != nil {
 				return nil, err
@@ -194,16 +219,25 @@ func (p *parser) cell(l *Library, hdr []string) (*CellTiming, error) {
 		}
 		switch f[0] {
 		case "OUTPUT":
+			if err := need(f, 2); err != nil {
+				return nil, err
+			}
 			ct.Output = f[1]
 		case "INPUTS":
 			ct.Inputs = append([]string(nil), f[1:]...)
 		case "PINCAP":
+			if err := need(f, 3); err != nil {
+				return nil, err
+			}
 			v, err := strconv.ParseFloat(f[2], 64)
 			if err != nil {
 				return nil, err
 			}
 			ct.PinCap[f[1]] = v
 		case "SEQ":
+			if err := need(f, 5); err != nil {
+				return nil, err
+			}
 			ct.Seq = true
 			ct.Clock, ct.Data = f[1], f[2]
 			if ct.SetupPS, err = strconv.ParseFloat(f[3], 64); err != nil {
@@ -224,6 +258,32 @@ func (p *parser) cell(l *Library, hdr []string) (*CellTiming, error) {
 			return nil, fmt.Errorf("unexpected token %q in cell", f[0])
 		}
 	}
+}
+
+// parseSalv decodes a "SALV <edge> <i> <j>" salvage marker.
+func parseSalv(f []string) (SalvagePoint, error) {
+	var sp SalvagePoint
+	if len(f) < 4 {
+		return sp, fmt.Errorf("short SALV line")
+	}
+	switch f[1] {
+	case "rise":
+		sp.Edge = Rise
+	case "fall":
+		sp.Edge = Fall
+	default:
+		return sp, fmt.Errorf("bad SALV edge %q", f[1])
+	}
+	i, err := strconv.Atoi(f[2])
+	if err != nil {
+		return sp, err
+	}
+	j, err := strconv.Atoi(f[3])
+	if err != nil {
+		return sp, err
+	}
+	sp.I, sp.J = i, j
+	return sp, nil
 }
 
 func (p *parser) arc(l *Library, hdr []string) (*Arc, error) {
@@ -249,9 +309,20 @@ func (p *parser) arc(l *Library, hdr []string) (*Arc, error) {
 		if err != nil {
 			return nil, err
 		}
+		if f[0] == "SALV" {
+			sp, err := parseSalv(f)
+			if err != nil {
+				return nil, err
+			}
+			a.Salvaged = append(a.Salvaged, sp)
+			continue
+		}
 		if f[0] != "TABLE" {
 			p.unread(f)
 			return a, nil
+		}
+		if err := need(f, 3); err != nil {
+			return nil, err
 		}
 		var edge Edge
 		switch f[2] {

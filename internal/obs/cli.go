@@ -10,15 +10,18 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 )
 
-// CLIFlags bundles the observability flags every pipeline command exposes:
-// -metrics (text summary on exit), -trace-out (JSON run-manifest), and
-// -pprof (live net/http/pprof endpoint for long sweeps).
+// CLIFlags bundles the run-control flags every pipeline command exposes:
+// -metrics (text summary on exit), -trace-out (JSON run-manifest),
+// -pprof (live net/http/pprof endpoint for long sweeps) and -timeout
+// (wall-clock budget for the whole run).
 type CLIFlags struct {
 	Metrics  bool
 	TraceOut string
 	Pprof    string
+	Timeout  time.Duration
 }
 
 // RegisterFlags installs the standard observability flags on fs (use
@@ -29,18 +32,26 @@ func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.BoolVar(&c.Metrics, "metrics", false, "print a metrics/span summary to stderr on exit")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write a JSON run-manifest (metrics + span tree) to this file on exit")
 	fs.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. :6060) while running")
+	fs.DurationVar(&c.Timeout, "timeout", 0, "abort the run after this wall-clock duration (e.g. 30m; 0 = no limit)")
 	return c
 }
 
 // Setup wires a command run: it returns a context that carries a fresh
 // Registry and is canceled on SIGINT/SIGTERM (so Ctrl-C propagates into
-// in-flight simulations), starts the pprof server if requested, and
-// returns a finish func that flushes the configured sinks. Call finish
-// exactly once, before exiting — including on the error path.
+// in-flight simulations) as well as when the -timeout budget elapses
+// (the context error is then context.DeadlineExceeded, which commands
+// report distinctly from an interrupt), starts the pprof server if
+// requested, and returns a finish func that flushes the configured
+// sinks. Call finish exactly once, before exiting — including on the
+// error path.
 func (c *CLIFlags) Setup(parent context.Context) (context.Context, *Registry, func()) {
 	reg := NewRegistry()
 	ctx := With(parent, reg)
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	cancelTimeout := func() {}
+	if c.Timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, c.Timeout)
+	}
 	if c.Pprof != "" {
 		go func() {
 			// DefaultServeMux carries the pprof handlers via the blank import.
@@ -50,6 +61,7 @@ func (c *CLIFlags) Setup(parent context.Context) (context.Context, *Registry, fu
 		}()
 	}
 	finish := func() {
+		cancelTimeout()
 		stop()
 		if c.TraceOut != "" {
 			if err := reg.WriteManifest(c.TraceOut); err != nil {

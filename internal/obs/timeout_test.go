@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"testing"
+	"time"
+)
+
+// TestSetupTimeout: the -timeout flag puts a wall-clock deadline on the
+// run context, and its expiry is distinguishable from an interrupt
+// (context.DeadlineExceeded, which conc.WrapCanceled preserves for
+// errors.Is).
+func TestSetupTimeout(t *testing.T) {
+	c := &CLIFlags{Timeout: 20 * time.Millisecond}
+	ctx, _, finish := c.Setup(context.Background())
+	defer finish()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("Setup with Timeout set returned a context without a deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after the timeout elapsed")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestSetupNoTimeout: the default (0) imposes no deadline.
+func TestSetupNoTimeout(t *testing.T) {
+	c := &CLIFlags{}
+	ctx, _, finish := c.Setup(context.Background())
+	defer finish()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("Setup without Timeout returned a context with a deadline")
+	}
+	if err := ctx.Err(); err != nil {
+		t.Errorf("fresh run context already done: %v", err)
+	}
+}
+
+// TestRegisterTimeoutFlag: -timeout parses standard duration syntax.
+func TestRegisterTimeoutFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-timeout", "90m"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Timeout != 90*time.Minute {
+		t.Errorf("Timeout = %v, want 90m", c.Timeout)
+	}
+}

@@ -1,0 +1,128 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"ageguard/internal/conc"
+	"ageguard/internal/obs"
+)
+
+// FailureClass partitions transient-analysis errors for retry decisions:
+// only convergence failures are worth re-running with more conservative
+// solver options; cancellations must propagate immediately and anything
+// else (measurement or structural errors) is deterministic and would fail
+// identically on every rung.
+type FailureClass int
+
+const (
+	// FailNone classifies a nil error.
+	FailNone FailureClass = iota
+	// FailConvergence is a Newton/settle non-convergence (retryable).
+	FailConvergence
+	// FailCanceled is a context cancellation or deadline expiry.
+	FailCanceled
+	// FailOther is any remaining failure (not retryable).
+	FailOther
+)
+
+// String names the class for logs and span attributes.
+func (f FailureClass) String() string {
+	switch f {
+	case FailNone:
+		return "none"
+	case FailConvergence:
+		return "convergence"
+	case FailCanceled:
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps an error returned by RunContext or RunRetryContext onto
+// its failure class, looking through any number of %w wrapping layers.
+func Classify(err error) FailureClass {
+	switch {
+	case err == nil:
+		return FailNone
+	case errors.Is(err, conc.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return FailCanceled
+	case errors.Is(err, ErrNoConvergence):
+		return FailConvergence
+	default:
+		return FailOther
+	}
+}
+
+// escalate returns the solver options for the given retry rung. Rung 0 is
+// o unchanged; every later rung is progressively more conservative —
+// smaller maximum and minimum time steps, a tighter per-step voltage
+// target and a harder-damped Newton update — trading simulation time for
+// robustness on stiff circuits.
+func (o Options) escalate(tstop float64, rung int) Options {
+	if rung == 0 {
+		return o
+	}
+	e := o
+	e.fill(tstop)
+	pow4 := math.Pow(4, float64(rung))
+	pow2 := math.Pow(2, float64(rung))
+	e.MaxStep /= pow4
+	e.MinStep /= pow4 * pow4
+	e.DVTarget /= pow2
+	e.NewtonClamp = math.Max(e.NewtonClamp/pow2, 0.05)
+	return e
+}
+
+// RunRetry is RunRetryContext with a background context (never canceled).
+func (c *Circuit) RunRetry(tstop float64, opts Options, retries int) (*Result, error) {
+	return c.RunRetryContext(context.Background(), tstop, opts, retries)
+}
+
+// RunRetryContext performs a transient analysis with a non-convergence
+// escalation ladder: the first attempt runs with opts as given; each of
+// up to `retries` further attempts re-runs the whole transient with
+// progressively conservative options (see escalate). Only convergence
+// failures climb the ladder — cancellations and deterministic errors
+// return immediately. retries <= 0 behaves exactly like RunContext.
+//
+// Solver effort is recorded per attempt as in RunContext; additionally
+// spice.retry.attempts counts ladder re-runs, spice.retry.recovered
+// counts transients rescued by a later rung, and spice.retry.exhausted
+// counts transients that failed even at the most conservative rung.
+func (c *Circuit) RunRetryContext(ctx context.Context, tstop float64, opts Options, retries int) (*Result, error) {
+	if retries < 0 {
+		retries = 0
+	}
+	reg := obs.From(ctx)
+	var lastErr error
+	for rung := 0; rung <= retries; rung++ {
+		o := opts.escalate(tstop, rung)
+		o.attempt = rung
+		res, err := c.RunContext(ctx, tstop, o)
+		if err == nil {
+			if rung > 0 {
+				reg.Counter("spice.retry.recovered").Inc()
+			}
+			return res, nil
+		}
+		lastErr = err
+		if Classify(err) != FailConvergence {
+			return nil, err
+		}
+		if rung < retries {
+			reg.Counter("spice.retry.attempts").Inc()
+		}
+	}
+	if retries > 0 {
+		reg.Counter("spice.retry.exhausted").Inc()
+		return nil, fmt.Errorf("spice: escalation ladder exhausted after %d attempts: %w",
+			retries+1, lastErr)
+	}
+	return nil, lastErr
+}

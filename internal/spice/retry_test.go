@@ -1,0 +1,189 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ageguard/internal/obs"
+	"ageguard/internal/units"
+)
+
+// TestClassify maps representative errors onto their failure classes,
+// through wrapping layers.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FailureClass
+	}{
+		{nil, FailNone},
+		{ErrNoConvergence, FailConvergence},
+		{fmt.Errorf("arc: %w", fmt.Errorf("point: %w", ErrNoConvergence)), FailConvergence},
+		{context.Canceled, FailCanceled},
+		{context.DeadlineExceeded, FailCanceled},
+		{fmt.Errorf("run: %w", context.Canceled), FailCanceled},
+		{errors.New("output did not cross 50%"), FailOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestEscalate: rung 0 leaves options untouched; later rungs shrink the
+// step bounds and voltage targets geometrically, with the Newton clamp
+// floored at 0.05 V.
+func TestEscalate(t *testing.T) {
+	o := Options{MaxStep: 16 * units.Ps, MinStep: 1e-14, DVTarget: 0.04, NewtonClamp: 0.4}
+	if got := o.escalate(units.Ns, 0); got.MaxStep != o.MaxStep || got.MinStep != o.MinStep ||
+		got.DVTarget != o.DVTarget || got.NewtonClamp != o.NewtonClamp {
+		t.Errorf("rung 0 changed options: %+v", got)
+	}
+	e := o.escalate(units.Ns, 2)
+	if e.MaxStep != o.MaxStep/16 {
+		t.Errorf("rung 2 MaxStep = %g, want %g", e.MaxStep, o.MaxStep/16)
+	}
+	if e.MinStep != o.MinStep/256 {
+		t.Errorf("rung 2 MinStep = %g, want %g", e.MinStep, o.MinStep/256)
+	}
+	if e.DVTarget != o.DVTarget/4 {
+		t.Errorf("rung 2 DVTarget = %g, want %g", e.DVTarget, o.DVTarget/4)
+	}
+	if e.NewtonClamp != 0.1 {
+		t.Errorf("rung 2 NewtonClamp = %g, want 0.1", e.NewtonClamp)
+	}
+	if deep := o.escalate(units.Ns, 6); deep.NewtonClamp != 0.05 {
+		t.Errorf("deep rung NewtonClamp = %g, want floor 0.05", deep.NewtonClamp)
+	}
+	// Escalating zero-valued options fills defaults first, so each rung is
+	// strictly more conservative than the defaulted first attempt.
+	d := Options{}.escalate(units.Ns, 1)
+	if d.MaxStep >= units.Ns/200 {
+		t.Errorf("escalated default MaxStep = %g, want < %g", d.MaxStep, units.Ns/200)
+	}
+}
+
+// TestRetryRecovers injects non-convergence on the first two rungs and
+// verifies the third succeeds, with the recovery metrics recorded.
+func TestRetryRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), reg)
+	ckt, _, _ := inverter(units.FF, 0, 1, 0, 1)
+	var rungs []int
+	opts := Options{
+		MaxStep: 25 * units.Ps,
+		FaultHook: func(attempt int) error {
+			rungs = append(rungs, attempt)
+			if attempt < 2 {
+				return ErrNoConvergence
+			}
+			return nil
+		},
+	}
+	res, err := ckt.RunRetryContext(ctx, units.Ns, opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.T) == 0 {
+		t.Error("recovered transient produced no waveform")
+	}
+	if want := []int{0, 1, 2}; fmt.Sprint(rungs) != fmt.Sprint(want) {
+		t.Errorf("attempt rungs = %v, want %v", rungs, want)
+	}
+	if n := reg.Counter("spice.retry.recovered").Value(); n != 1 {
+		t.Errorf("spice.retry.recovered = %d, want 1", n)
+	}
+	if n := reg.Counter("spice.retry.attempts").Value(); n != 2 {
+		t.Errorf("spice.retry.attempts = %d, want 2", n)
+	}
+	if n := reg.Counter("spice.retry.exhausted").Value(); n != 0 {
+		t.Errorf("spice.retry.exhausted = %d, want 0", n)
+	}
+	if n := reg.Counter("spice.faults.injected").Value(); n != 2 {
+		t.Errorf("spice.faults.injected = %d, want 2", n)
+	}
+}
+
+// TestRetryExhausted: a fault on every rung exhausts the ladder; the
+// error still matches ErrNoConvergence and the exhaustion is counted.
+func TestRetryExhausted(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), reg)
+	ckt, _, _ := inverter(units.FF, 0, 1, 0, 1)
+	opts := Options{
+		MaxStep:   25 * units.Ps,
+		FaultHook: func(int) error { return ErrNoConvergence },
+	}
+	_, err := ckt.RunRetryContext(ctx, units.Ns, opts, 2)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("got %v, want ErrNoConvergence", err)
+	}
+	if n := reg.Counter("spice.retry.exhausted").Value(); n != 1 {
+		t.Errorf("spice.retry.exhausted = %d, want 1", n)
+	}
+	if n := reg.Counter("spice.retry.attempts").Value(); n != 2 {
+		t.Errorf("spice.retry.attempts = %d, want 2", n)
+	}
+	if n := reg.Counter("spice.retry.recovered").Value(); n != 0 {
+		t.Errorf("spice.retry.recovered = %d, want 0", n)
+	}
+}
+
+// TestRetryZeroBehavesLikeRun: retries <= 0 returns the first failure
+// unwrapped by any ladder message.
+func TestRetryZeroBehavesLikeRun(t *testing.T) {
+	ckt, _, _ := inverter(units.FF, 0, 1, 0, 1)
+	calls := 0
+	opts := Options{
+		MaxStep:   25 * units.Ps,
+		FaultHook: func(int) error { calls++; return ErrNoConvergence },
+	}
+	_, err := ckt.RunRetry(units.Ns, opts, 0)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("got %v, want ErrNoConvergence", err)
+	}
+	if calls != 1 {
+		t.Errorf("ran %d attempts with retries=0, want 1", calls)
+	}
+}
+
+// TestNoRetryOnNonConvergence: deterministic (non-convergence-class)
+// failures never climb the ladder.
+func TestNoRetryOnOtherFailure(t *testing.T) {
+	ckt, _, _ := inverter(units.FF, 0, 1, 0, 1)
+	boom := errors.New("deterministic structural failure")
+	calls := 0
+	opts := Options{
+		MaxStep:   25 * units.Ps,
+		FaultHook: func(int) error { calls++; return boom },
+	}
+	_, err := ckt.RunRetry(units.Ns, opts, 3)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the injected error", err)
+	}
+	if calls != 1 {
+		t.Errorf("ran %d attempts for a non-retryable failure, want 1", calls)
+	}
+}
+
+// TestNoRetryOnCancel: cancellation propagates immediately without
+// consuming ladder rungs.
+func TestNoRetryOnCancel(t *testing.T) {
+	ckt, _, _ := inverter(units.FF, 0, 1, 0, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	opts := Options{
+		MaxStep:   25 * units.Ps,
+		FaultHook: func(int) error { calls++; return nil },
+	}
+	_, err := ckt.RunRetryContext(ctx, units.Ns, opts, 3)
+	if Classify(err) != FailCanceled {
+		t.Fatalf("got %v (class %v), want a canceled-class error", err, Classify(err))
+	}
+	if calls > 1 {
+		t.Errorf("canceled run consumed %d attempts, want at most 1", calls)
+	}
+}

@@ -169,9 +169,24 @@ type Options struct {
 	MaxStep  float64 // largest time step [s]; default tstop/200
 	MinStep  float64 // smallest step before giving up [s]; default 1e-16
 	DVTarget float64 // per-step voltage change target [V]; default 0.03
-	InitV    func(name string) (float64, bool)
+	// NewtonClamp limits each Newton voltage update [V]; default 0.4.
+	// Smaller values damp the iteration harder: slower convergence on
+	// well-behaved circuits, but far more robust on stiff ones — the
+	// retry ladder lowers it rung by rung.
+	NewtonClamp float64
+	InitV       func(name string) (float64, bool)
 	// InitV optionally provides initial voltages for free nodes by name;
 	// unspecified nodes start at 0 V.
+
+	// FaultHook, when non-nil, is consulted at the start of every
+	// transient attempt with the escalation-ladder rung (0 = first try,
+	// see RunRetryContext). A non-nil return aborts the attempt with that
+	// error exactly as if the solver had failed. It is a deterministic
+	// fault-injection seam for exercising retry/salvage/resume paths in
+	// tests; production configurations leave it nil.
+	FaultHook func(attempt int) error
+
+	attempt int // escalation-ladder rung, set by RunRetryContext
 }
 
 func (o *Options) fill(tstop float64) {
@@ -183,6 +198,9 @@ func (o *Options) fill(tstop float64) {
 	}
 	if o.DVTarget == 0 {
 		o.DVTarget = 0.03
+	}
+	if o.NewtonClamp == 0 {
+		o.NewtonClamp = 0.4
 	}
 }
 
@@ -244,6 +262,15 @@ func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (
 		reg.Counter("spice.canceled").Inc()
 		return nil, fmt.Errorf("spice: transient canceled before settle: %w",
 			conc.WrapCanceled(err))
+	}
+	if opts.FaultHook != nil {
+		if err := opts.FaultHook(opts.attempt); err != nil {
+			reg.Counter("spice.faults.injected").Inc()
+			if errors.Is(err, ErrNoConvergence) {
+				reg.Counter("spice.noconverge").Inc()
+			}
+			return nil, fmt.Errorf("injected fault (attempt %d): %w", opts.attempt, err)
+		}
 	}
 	if err := s.settle(); err != nil {
 		reg.Counter("spice.noconverge").Inc()
@@ -395,7 +422,7 @@ func (s *solver) step(t, h float64) (bool, float64) {
 			}
 			d := s.dx[nd.idx]
 			// Voltage limiting stabilizes Newton on stiff MOS curves.
-			d = units.Clamp(d, -0.4, 0.4)
+			d = units.Clamp(d, -s.opts.NewtonClamp, s.opts.NewtonClamp)
 			s.vCur[i] += d
 			if a := math.Abs(d); a > dmax {
 				dmax = a

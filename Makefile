@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify fmt faults
+.PHONY: all build test race verify fmt faults bench
 
 all: build
 
@@ -35,6 +35,14 @@ verify:
 	fi
 	$(GO) test ./...
 	$(GO) test -race ./...
+	BENCH_PR4_OUT=$$(mktemp) BENCH_PR4_ITERS=1 $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1
+
+# bench reproduces BENCH_PR4.json: incremental-STA inner loop vs full
+# re-analysis, and the 121-library grid fan-out vs serial analysis.
+# The checked-in file is the reference result; regenerate after touching
+# the engine and commit the update if the speedups moved.
+bench:
+	BENCH_PR4_OUT=$(CURDIR)/BENCH_PR4.json $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1 -v
 
 # faults runs the fault-injection and recovery suite — solver retry
 # ladder, grid-point salvage, checkpoint/resume, cache corruption and

@@ -19,6 +19,8 @@ import (
 	"ageguard/internal/conc"
 	"ageguard/internal/core"
 	"ageguard/internal/obs"
+	"ageguard/internal/sta"
+	"ageguard/internal/units"
 )
 
 func main() {
@@ -30,12 +32,14 @@ func main() {
 		years   = flag.Float64("years", 10, "projected lifetime in years")
 		retries = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
 		strict  = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
+		outload = flag.Float64("outload", 0, "primary-output load in fF (0 = flow default)")
+		wirecap = flag.Float64("wirecap", 0, "per-net wire capacitance in fF (0 = flow default)")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *all, *years, *retries, *strict)
+	err := run(ctx, *circuit, *all, *years, *retries, *strict, *outload, *wirecap)
 	finish()
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -47,10 +51,17 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, circuit string, all bool, years float64, retries int, strict bool) error {
+func run(ctx context.Context, circuit string, all bool, years float64, retries int, strict bool, outloadFF, wirecapFF float64) error {
 	ctx, sp := obs.StartSpan(ctx, "agesynth.run")
 	defer sp.End()
-	f := core.New(core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict))
+	opts := []core.Option{core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict)}
+	if outloadFF != 0 || wirecapFF != 0 {
+		opts = append(opts, core.WithSTAConfig(sta.Config{
+			OutputLoad: outloadFF * units.FF,
+			WireCap:    wirecapFF * units.FF,
+		}))
+	}
+	f := core.New(opts...)
 	circuits := []string{circuit}
 	if all {
 		circuits = core.BenchmarkCircuits()

@@ -8,6 +8,7 @@
 //	guardband -circuit DSP                  # static worst-case, 10 years
 //	guardband -circuit FFT -scenario balance
 //	guardband -circuit DSP -scenario dynamic -steps 64
+//	guardband -circuit DSP -scenario grid   # full 11x11 duty-cycle sweep
 //	guardband -all -metrics -trace-out run.json
 package main
 
@@ -23,6 +24,7 @@ import (
 	"ageguard/internal/conc"
 	"ageguard/internal/core"
 	"ageguard/internal/obs"
+	"ageguard/internal/sta"
 	"ageguard/internal/units"
 )
 
@@ -32,18 +34,20 @@ func main() {
 	var (
 		circuit  = flag.String("circuit", "DSP", "benchmark circuit name")
 		all      = flag.Bool("all", false, "run every benchmark circuit")
-		scenario = flag.String("scenario", "worst", "aging stress: worst, balance or dynamic")
+		scenario = flag.String("scenario", "worst", "aging stress: worst, balance, dynamic or grid")
 		years    = flag.Float64("years", 10, "projected lifetime in years")
 		steps    = flag.Int("steps", 32, "workload steps (x64 vectors) for dynamic stress")
 		seed     = flag.Int64("seed", 1, "workload seed for dynamic stress")
 		retries  = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
 		strict   = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
+		outload  = flag.Float64("outload", 0, "primary-output load in fF (0 = flow default)")
+		wirecap  = flag.Float64("wirecap", 0, "per-net wire capacitance in fF (0 = flow default)")
 	)
 	o := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *all, *scenario, *years, *steps, *seed, *retries, *strict)
+	err := run(ctx, *circuit, *all, *scenario, *years, *steps, *seed, *retries, *strict, staOptions(*outload, *wirecap))
 	finish()
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -55,13 +59,39 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64, retries int, strict bool) error {
+// staOptions converts the -outload/-wirecap flags (fF, 0 = keep the flow
+// default) into core options overriding the flow's sta.Config.
+func staOptions(outloadFF, wirecapFF float64) []core.Option {
+	if outloadFF == 0 && wirecapFF == 0 {
+		return nil
+	}
+	cfg := sta.Config{
+		OutputLoad: outloadFF * units.FF,
+		WireCap:    wirecapFF * units.FF,
+	}
+	return []core.Option{core.WithSTAConfig(cfg)}
+}
+
+func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64, retries int, strict bool, staOpts []core.Option) error {
 	ctx, sp := obs.StartSpan(ctx, "guardband.run")
 	defer sp.End()
-	f := core.New(core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict))
+	opts := append([]core.Option{
+		core.WithLifetime(years), core.WithRetries(retries), core.WithStrict(strict),
+	}, staOpts...)
+	f := core.New(opts...)
 	circuits := []string{circuit}
 	if all {
 		circuits = core.BenchmarkCircuits()
+	}
+	if scenario == "grid" {
+		for _, c := range circuits {
+			g, err := f.GuardbandGridContext(ctx, c)
+			if err != nil {
+				return fmt.Errorf("%s: %w", c, err)
+			}
+			fmt.Print(g.Format())
+		}
+		return nil
 	}
 	fmt.Printf("%-10s %12s %12s %12s\n", "circuit", "freshCP", "agedCP", "guardband")
 	for _, c := range circuits {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"ageguard/internal/aging"
@@ -171,5 +172,37 @@ func TestCompleteLibraryScenarios(t *testing.T) {
 	}
 	if _, ok := m.Cell("INV_X1_1.0_1.0"); !ok {
 		t.Error("missing worst-case cell")
+	}
+}
+
+func TestGuardbandGridWorstAndFormat(t *testing.T) {
+	g := &GuardbandGrid{
+		Circuit: "DSP",
+		FreshCP: 100 * units.Ps,
+		Lambdas: []float64{0.0, 0.5, 1.0},
+		AgedCP: [][]float64{
+			{100 * units.Ps, 104 * units.Ps, 108 * units.Ps},
+			{103 * units.Ps, 110 * units.Ps, 118 * units.Ps},
+			{106 * units.Ps, 119 * units.Ps, 131 * units.Ps},
+		},
+	}
+	if gb := g.Guardband(0, 0); gb != 0 {
+		t.Errorf("Guardband(0,0) = %v, want 0", gb)
+	}
+	lp, ln, gb := g.Worst()
+	if lp != 1.0 || ln != 1.0 {
+		t.Errorf("Worst at lambdaP=%.1f lambdaN=%.1f, want 1.0/1.0", lp, ln)
+	}
+	if got, want := gb, 31*units.Ps; math.Abs(got-want) > 1e-18 {
+		t.Errorf("worst guardband = %v, want %v", got, want)
+	}
+	s := g.Format()
+	for _, want := range []string{"DSP", "lP\\lN", "worst 31.00ps at lambdaP=1.0 lambdaN=1.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format() missing %q:\n%s", want, s)
+		}
+	}
+	if rows := strings.Count(s, "\n"); rows != 6 {
+		t.Errorf("Format() has %d lines, want 6 (header, axis, 3 rows, worst):\n%s", rows, s)
 	}
 }

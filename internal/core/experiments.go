@@ -637,7 +637,7 @@ func (f Flow) IterativeTighteningContext(ctx context.Context, circuit string) (T
 	if err != nil {
 		return row, err
 	}
-	tightened, err := synth.SizeGatesDualContext(ctx, trad, fresh, aged, f.Synth)
+	tightened, err := synth.SizeGatesDualContext(ctx, trad, fresh, aged, f.synthConfig())
 	if err != nil {
 		return row, err
 	}
@@ -655,4 +655,110 @@ func (f Flow) IterativeTighteningContext(ctx context.Context, circuit string) (T
 	row.BaselinePct = (1 - row.TightenedGB/row.RequiredGB) * 100
 	row.AgingAwarePct = aware.ReductionPct
 	return row, nil
+}
+
+// ----------------------------------------------------------------------------
+// Duty-cycle guardband grid: one netlist re-timed under every grid library.
+
+// GuardbandGrid is the outcome of re-timing one synthesized netlist under
+// the full duty-cycle library grid (the paper's Fig. 5 estimation sweep):
+// the aged critical path as a function of (lambdaP, lambdaN).
+type GuardbandGrid struct {
+	Circuit string
+	FreshCP float64     // critical path under the fresh library [s]
+	Lambdas []float64   // duty-cycle axis, aging.LambdaGrid()
+	AgedCP  [][]float64 // [iP][iN] critical path under WithLambda(lp, ln) [s]
+}
+
+// Guardband returns AgedCP[iP][iN] - FreshCP.
+func (g *GuardbandGrid) Guardband(iP, iN int) float64 {
+	return g.AgedCP[iP][iN] - g.FreshCP
+}
+
+// Worst returns the grid point with the largest guardband.
+func (g *GuardbandGrid) Worst() (lp, ln, gb float64) {
+	for i, row := range g.AgedCP {
+		for j, cp := range row {
+			if v := cp - g.FreshCP; v > gb {
+				lp, ln, gb = g.Lambdas[i], g.Lambdas[j], v
+			}
+		}
+	}
+	return lp, ln, gb
+}
+
+// Format renders the guardband grid in picoseconds, lambdaP down,
+// lambdaN across.
+func (g *GuardbandGrid) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: guardband [ps] over duty cycles (fresh CP %s)\n",
+		g.Circuit, units.PsString(g.FreshCP))
+	fmt.Fprintf(&b, "%5s", "lP\\lN")
+	for _, ln := range g.Lambdas {
+		fmt.Fprintf(&b, "%7.1f", ln)
+	}
+	b.WriteByte('\n')
+	for i, row := range g.AgedCP {
+		fmt.Fprintf(&b, "%5.1f", g.Lambdas[i])
+		for _, cp := range row {
+			fmt.Fprintf(&b, "%7.1f", (cp-g.FreshCP)/units.Ps)
+		}
+		b.WriteByte('\n')
+	}
+	lp, ln, gb := g.Worst()
+	fmt.Fprintf(&b, "worst %s at lambdaP=%.1f lambdaN=%.1f\n", units.PsString(gb), lp, ln)
+	return b.String()
+}
+
+// GuardbandGridFor synthesizes the circuit traditionally and re-times it
+// under every library of the duty-cycle grid.
+//
+// Deprecated: use GuardbandGridContext. This wrapper uses
+// context.Background and remains for existing callers.
+func (f Flow) GuardbandGridFor(circuit string) (*GuardbandGrid, error) {
+	return f.GuardbandGridContext(context.Background(), circuit)
+}
+
+// GuardbandGridContext synthesizes the circuit traditionally, then times
+// the one netlist under all 121 duty-cycle libraries of the paper's grid
+// in a single batched STA run (sta.AnalyzeBatchContext): the netlist
+// topology is compiled once and every library only rebinds timing views,
+// fanning out over Flow.Parallelism workers. Canceling ctx stops both the
+// characterization sweep and the batch mid-flight with an error matching
+// conc.ErrCanceled.
+func (f Flow) GuardbandGridContext(ctx context.Context, circuit string) (*GuardbandGrid, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.guardband.grid")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
+	nl, err := f.SynthesizeTraditionalContext(ctx, circuit)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := f.FreshLibraryContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fcp, err := f.CPContext(ctx, nl, fresh)
+	if err != nil {
+		return nil, err
+	}
+	scens := aging.GridScenarios(f.Lifetime)
+	libs, err := f.Char.CharacterizeAllContext(ctx, scens)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sta.AnalyzeBatchContext(ctx, nl, libs, f.STA, f.workers())
+	if err != nil {
+		return nil, err
+	}
+	axis := aging.LambdaGrid()
+	g := &GuardbandGrid{Circuit: circuit, FreshCP: fcp, Lambdas: axis}
+	g.AgedCP = make([][]float64, len(axis))
+	for i := range axis {
+		g.AgedCP[i] = make([]float64, len(axis))
+		for j := range axis {
+			g.AgedCP[i][j] = results[i*len(axis)+j].CP
+		}
+	}
+	return g, nil
 }

@@ -178,7 +178,7 @@ func (f Flow) SynthesizedContext(ctx context.Context, circuit string, lib *liber
 	if err != nil {
 		return nil, err
 	}
-	nl, err := synth.SynthesizeContext(ctx, a, lib, circuit, f.Synth)
+	nl, err := synth.SynthesizeContext(ctx, a, lib, circuit, f.synthConfig())
 	if err != nil {
 		return nil, conc.WrapCanceled(err)
 	}
@@ -217,17 +217,32 @@ func storeNetlistCache(path string, nl *netlist.Netlist) error {
 	return nil
 }
 
+// synthConfig is the effective synthesis configuration: the flow's synth
+// knobs with the flow's STA parameters threaded through, so the optimizer
+// times candidates under exactly the conditions CPContext signs off with.
+// An STA config set explicitly on Synth wins over the flow-level one.
+func (f Flow) synthConfig() synth.Config {
+	cfg := f.Synth
+	if cfg.STA == (sta.Config{}) {
+		cfg.STA = f.STA
+	}
+	return cfg
+}
+
 // netlistCachePath keys cached netlists by circuit, library name and a
 // fingerprint of every configuration knob that shapes the synthesized
 // result: the full characterization config (the library name alone does
-// not encode grid axes or model constants) and the synthesis config. A
-// changed knob therefore can never silently reuse a stale netlist.
+// not encode grid axes or model constants) and the effective synthesis
+// config — which includes the threaded STA parameters, so changing
+// Flow.STA can never silently reuse a netlist optimized under different
+// timing conditions. A changed knob therefore never reuses a stale
+// netlist.
 func (f Flow) netlistCachePath(circuit string, lib *liberty.Library) string {
 	if f.Char.CacheDir == "" {
 		return ""
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "char=%016x|synth=%v", f.Char.Hash(), f.Synth)
+	fmt.Fprintf(h, "char=%016x|synth=%v", f.Char.Hash(), f.synthConfig())
 	return filepath.Join(f.Char.CacheDir,
 		fmt.Sprintf("netl_%s_%s_h%016x.netl", circuit, lib.Name, h.Sum64()))
 }

@@ -1,0 +1,394 @@
+package sta
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/conc"
+	"ageguard/internal/liberty"
+	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
+	"ageguard/internal/units"
+)
+
+// TestConfigFillDefaults pins the filled defaults to the values the doc
+// comments on Config promise, so comments and code cannot drift apart
+// silently again (they did once: the comments claimed 1.5fF/0.25fF/0.12fF
+// while fill() applied 4fF/2fF/0.5fF).
+func TestConfigFillDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	want := Config{
+		InputSlew:  20 * units.Ps,
+		ClockSlew:  20 * units.Ps,
+		OutputLoad: 4 * units.FF,
+		WireCap:    2 * units.FF,
+		WireCapFan: 0.5 * units.FF,
+	}
+	if c != want {
+		t.Errorf("fill() = %+v, want %+v", c, want)
+	}
+	// Explicit values survive fill untouched.
+	c = Config{InputSlew: 1 * units.Ps, ClockSlew: 2 * units.Ps,
+		OutputLoad: 3 * units.FF, WireCap: 4 * units.FF, WireCapFan: 5 * units.FF}
+	want = c
+	c.fill()
+	if c != want {
+		t.Errorf("fill() overwrote explicit values: %+v, want %+v", c, want)
+	}
+}
+
+// gateKind describes one combinational cell footprint usable by the
+// random netlist generator.
+type gateKind struct {
+	base   string
+	inputs []string
+	output string
+	drives []int
+}
+
+var gateKinds = []gateKind{
+	{"INV", []string{"A"}, "ZN", []int{1, 2, 4, 8}},
+	{"BUF", []string{"A"}, "Z", []int{1, 2, 4, 8}},
+	{"NAND2", []string{"A1", "A2"}, "ZN", []int{1, 2, 4}},
+	{"NOR2", []string{"A1", "A2"}, "ZN", []int{1, 2, 4}},
+	{"AND2", []string{"A1", "A2"}, "Z", []int{1, 2, 4}},
+	{"OR2", []string{"A1", "A2"}, "Z", []int{1, 2, 4}},
+	{"XOR2", []string{"A", "B"}, "Z", []int{1, 2, 4}},
+	{"AOI21", []string{"A1", "A2", "B"}, "ZN", []int{1, 2, 4}},
+	{"MUX2", []string{"A", "B", "S"}, "Z", []int{1, 2, 4}},
+}
+
+// randNetlist builds a random registered DAG with nGates combinational
+// gates of mixed kinds and drives. Construction is topological (gate
+// inputs are drawn from already-driven nets), so the result always
+// levelizes.
+func randNetlist(rng *rand.Rand, nGates int) *netlist.Netlist {
+	nl := netlist.New(fmt.Sprintf("rand%d", nGates))
+	var pool []string
+	for i := 0; i < 3; i++ {
+		pi := fmt.Sprintf("pi%d", i)
+		nl.Inputs = append(nl.Inputs, pi)
+		pool = append(pool, pi)
+	}
+	for i := 0; i < 2; i++ {
+		q := fmt.Sprintf("r%d", i)
+		nl.AddInst(fmt.Sprintf("rin%d", i), "DFF_X1", map[string]string{
+			"D": pool[rng.Intn(len(pool))], "CK": netlist.ClockNet, "Q": q})
+		pool = append(pool, q)
+	}
+	for g := 0; g < nGates; g++ {
+		k := gateKinds[rng.Intn(len(gateKinds))]
+		pins := map[string]string{}
+		for _, in := range k.inputs {
+			pins[in] = pool[rng.Intn(len(pool))]
+		}
+		out := fmt.Sprintf("n%d", g)
+		pins[k.output] = out
+		cell := fmt.Sprintf("%s_X%d", k.base, k.drives[rng.Intn(len(k.drives))])
+		nl.AddInst(fmt.Sprintf("g%d", g), cell, pins)
+		pool = append(pool, out)
+	}
+	for i := 0; i < 2; i++ {
+		q := fmt.Sprintf("cq%d", i)
+		nl.AddInst(fmt.Sprintf("cap%d", i), "DFF_X1", map[string]string{
+			"D": pool[len(pool)-1-rng.Intn(4)], "CK": netlist.ClockNet, "Q": q})
+	}
+	// Primary outputs: the deepest net plus a couple of random picks
+	// (distinct), so both PO and register endpoints exist.
+	nl.Outputs = []string{pool[len(pool)-1]}
+	for i := 0; i < 2; i++ {
+		cand := pool[rng.Intn(len(pool))]
+		dup := false
+		for _, o := range nl.Outputs {
+			dup = dup || o == cand
+		}
+		if !dup {
+			nl.Outputs = append(nl.Outputs, cand)
+		}
+	}
+	return nl
+}
+
+// mustEqualResults fails unless a and b are deeply (bit-for-bit) equal.
+func mustEqualResults(t *testing.T, ctxt string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		if got.CP != want.CP {
+			t.Fatalf("%s: CP %v != reference %v", ctxt, got.CP, want.CP)
+		}
+		for net, w := range want.Arrival {
+			if g := got.Arrival[net]; g != w {
+				t.Fatalf("%s: arrival[%s] %v != reference %v", ctxt, net, g, w)
+			}
+		}
+		t.Fatalf("%s: results differ (beyond CP/arrivals — slews, loads, slacks or path)", ctxt)
+	}
+}
+
+// TestAnalyzeContextMatchesReference locks the compiled one-shot engine to
+// the straight-line reference implementation, bit for bit, across
+// structured and random netlists and both fresh and aged libraries.
+func TestAnalyzeContextMatchesReference(t *testing.T) {
+	libs := []*liberty.Library{lib(t, aging.Fresh()), lib(t, aging.WorstCase(10))}
+	rng := rand.New(rand.NewSource(7))
+	nls := []*netlist.Netlist{chain(2), chain(6), randNetlist(rng, 40), randNetlist(rng, 150)}
+	for _, l := range libs {
+		for _, nl := range nls {
+			got, err := AnalyzeContext(context.Background(), nl, l, Config{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", nl.Name, l.Name, err)
+			}
+			want, err := analyzeReference(nl, l, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, nl.Name+"/"+l.Name, got, want)
+		}
+	}
+	// Non-default config too (the synthesis threading depends on it).
+	cfg := Config{OutputLoad: 12 * units.FF, WireCap: 1 * units.FF, InputSlew: 35 * units.Ps}
+	got, err := AnalyzeContext(context.Background(), nls[3], libs[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := analyzeReference(nls[3], libs[0], cfg)
+	mustEqualResults(t, "nondefault-cfg", got, want)
+}
+
+// variantCells returns the drive variants of in's current cell present in
+// lib, excluding the current cell itself.
+func variantCells(l *liberty.Library, cur string) []string {
+	base := l.MustCell(cur).Base
+	var out []string
+	for _, d := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("%s_X%d", base, d)
+		if _, ok := l.Cell(name); ok && name != cur {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestIncrementalSwapBitIdentical is the differential property test the
+// tentpole hangs on: after every randomized footprint-preserving cell
+// swap (single and batched, including undo), the incremental engine's
+// result must be bit-identical to a fresh reference analysis of the
+// mutated netlist. Run under -race in tier-1.
+func TestIncrementalSwapBitIdentical(t *testing.T) {
+	l := lib(t, aging.WorstCase(10))
+	cfg := Config{OutputLoad: 6 * units.FF}
+	ctx := context.Background()
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl := randNetlist(rng, 60+rng.Intn(120))
+		a, err := NewAnalyzer(ctx, nl, l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(what string) {
+			t.Helper()
+			want, err := analyzeReference(nl, l, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: reference: %v", seed, what, err)
+			}
+			if a.CP() != want.CP {
+				t.Fatalf("seed %d %s: CP() %v != reference %v", seed, what, a.CP(), want.CP)
+			}
+			mustEqualResults(t, fmt.Sprintf("seed %d %s", seed, what), a.Result(), want)
+		}
+		check("initial")
+		insts := nl.Insts
+		for it := 0; it < 30; it++ {
+			// Draw 1–3 distinct instances with available variants.
+			var swaps []CellSwap
+			seen := map[string]bool{}
+			for len(swaps) < 1+rng.Intn(3) {
+				in := insts[rng.Intn(len(insts))]
+				vars := variantCells(l, in.Cell)
+				if seen[in.Name] || len(vars) == 0 {
+					continue
+				}
+				seen[in.Name] = true
+				swaps = append(swaps, CellSwap{Inst: in.Name, Cell: vars[rng.Intn(len(vars))]})
+			}
+			undo, err := a.Swap(ctx, swaps...)
+			if err != nil {
+				t.Fatalf("seed %d it %d: swap: %v", seed, it, err)
+			}
+			check(fmt.Sprintf("it %d after swap %v", it, swaps))
+			if it%3 == 0 {
+				// Reject the move: undo must restore the previous state
+				// bit-for-bit too.
+				if _, err := a.Swap(ctx, undo...); err != nil {
+					t.Fatalf("seed %d it %d: undo: %v", seed, it, err)
+				}
+				check(fmt.Sprintf("it %d after undo", it))
+			}
+		}
+	}
+}
+
+// TestAnalyzerRebuildAfterStructuralEdit covers the fallback-to-full path:
+// after a structural netlist edit (new instance), Rebuild must resync the
+// engine with the reference analysis.
+func TestAnalyzerRebuildAfterStructuralEdit(t *testing.T) {
+	l := lib(t, aging.Fresh())
+	nl := chain(4)
+	ctx := context.Background()
+	a, err := NewAnalyzer(ctx, nl, l, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice an extra inverter stage onto the chain output net.
+	nl.AddInst("extra", "INV_X4", map[string]string{"A": "w4", "ZN": "x"})
+	nl.Outputs = append(nl.Outputs, "x")
+	if err := a.Rebuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, err := analyzeReference(nl, l, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualResults(t, "after rebuild", a.Result(), want)
+}
+
+// TestSwapValidation: unknown instances or cells must error without
+// disturbing the engine state.
+func TestSwapValidation(t *testing.T) {
+	l := lib(t, aging.Fresh())
+	nl := chain(3)
+	ctx := context.Background()
+	a, err := NewAnalyzer(ctx, nl, l, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := a.CP()
+	if _, err := a.Swap(ctx, CellSwap{Inst: "nope", Cell: "INV_X2"}); err == nil {
+		t.Error("unknown instance not rejected")
+	}
+	if _, err := a.Swap(ctx, CellSwap{Inst: "inv0", Cell: "INV_X99"}); err == nil {
+		t.Error("unknown cell not rejected")
+	}
+	if a.CP() != cp {
+		t.Error("failed swap changed engine state")
+	}
+	if nl.Insts[1].Cell != "INV_X1" {
+		t.Error("failed swap mutated the netlist")
+	}
+}
+
+// TestSwapMetrics checks the obs wiring: queries and cone sizes are
+// recorded, and fallbacks only on Rebuild.
+func TestSwapMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.With(context.Background(), reg)
+	l := lib(t, aging.Fresh())
+	a, err := NewAnalyzer(ctx, chain(6), l, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range []string{"INV_X4", "INV_X1", "INV_X8"} {
+		if _, err := a.Swap(ctx, CellSwap{Inst: "inv2", Cell: cell}); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	if got := reg.Counter("sta.incremental.queries").Value(); got != 3 {
+		t.Errorf("queries = %d, want 3", got)
+	}
+	if got := reg.Histogram("sta.incremental.cone_size").Stat().Count; got != 3 {
+		t.Errorf("cone_size observations = %d, want 3", got)
+	}
+	if got := reg.Counter("sta.incremental.fallbacks").Value(); got != 0 {
+		t.Errorf("fallbacks = %d, want 0", got)
+	}
+	if err := a.Rebuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sta.incremental.fallbacks").Value(); got != 1 {
+		t.Errorf("fallbacks after Rebuild = %d, want 1", got)
+	}
+}
+
+// TestAnalyzeBatchMatchesReference locks the multi-library batch mode to
+// per-library reference analyses, in order, bit for bit.
+func TestAnalyzeBatchMatchesReference(t *testing.T) {
+	libs := []*liberty.Library{
+		lib(t, aging.Fresh()),
+		lib(t, aging.BalanceCase(10)),
+		lib(t, aging.WorstCase(10)),
+		lib(t, aging.Fresh()), // repeats are legal
+	}
+	rng := rand.New(rand.NewSource(11))
+	nl := randNetlist(rng, 120)
+	for _, workers := range []int{1, 4} {
+		got, err := AnalyzeBatchContext(context.Background(), nl, libs, Config{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(libs) {
+			t.Fatalf("workers=%d: %d results for %d libraries", workers, len(got), len(libs))
+		}
+		for i, l := range libs {
+			want, err := analyzeReference(nl, l, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualResults(t, fmt.Sprintf("workers=%d leg %d (%s)", workers, i, l.Name), got[i], want)
+		}
+	}
+	// Empty batch is a no-op.
+	if res, err := AnalyzeBatchContext(context.Background(), nl, nil, Config{}, 4); err != nil || res != nil {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+}
+
+// TestAnalyzeBatchCancellation: canceling mid-batch must stop the
+// remaining legs, return an error matching conc.ErrCanceled, and leave no
+// worker goroutines behind.
+func TestAnalyzeBatchCancellation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(obs.With(context.Background(), reg))
+	defer cancel()
+	l := lib(t, aging.Fresh())
+	rng := rand.New(rand.NewSource(3))
+	nl := randNetlist(rng, 2500)
+	libs := make([]*liberty.Library, 600)
+	for i := range libs {
+		libs[i] = l
+	}
+	before := runtime.NumGoroutine()
+	go func() {
+		// Cancel as soon as the first leg has started analysing.
+		for reg.Counter("sta.analyses").Value() == 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := AnalyzeBatchContext(ctx, nl, libs, Config{}, 4)
+	if !errors.Is(err, conc.ErrCanceled) {
+		t.Fatalf("err = %v, want conc.ErrCanceled", err)
+	}
+	// Every worker goroutine must have exited before the call returned;
+	// allow a short grace period for the canceler goroutine itself.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d > %d before", n, before)
+	}
+	// A pre-canceled context fails fast with the same sentinel.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := AnalyzeBatchContext(done, nl, libs, Config{}, 4); !errors.Is(err, conc.ErrCanceled) {
+		t.Errorf("pre-canceled err = %v, want conc.ErrCanceled", err)
+	}
+}

@@ -1,0 +1,82 @@
+package sta
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ageguard/internal/conc"
+	"ageguard/internal/liberty"
+	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
+)
+
+// AnalyzeBatchContext times one netlist under every library in libs and
+// returns one Result per library, in order — the shape of the paper's
+// Fig. 5 duty-cycle grid, where the same synthesized netlist is re-timed
+// under up to 121 aged libraries. The netlist topology (levelization, net
+// numbering, fanout sinks, endpoint lists) is compiled once and shared
+// read-only across all legs; each leg only rebinds cell timing views and
+// runs the arrival propagation. Legs fan out over internal/conc with the
+// given worker bound (conc.Workers semantics: <=0 selects GOMAXPROCS,
+// 1 runs serial).
+//
+// Every Result is bit-identical to a standalone AnalyzeContext of the same
+// (netlist, library) pair. A library whose cell footprints deviate from
+// the shared topology (different pin names/order — impossible for the
+// aged-variant libraries the flow produces, but allowed) falls back to the
+// reference analysis for that leg and is counted in
+// sta.incremental.fallbacks.
+//
+// On cancellation mid-batch the remaining legs stop, every worker
+// goroutine exits before the call returns, and the error matches
+// conc.ErrCanceled.
+func AnalyzeBatchContext(ctx context.Context, n *netlist.Netlist, libs []*liberty.Library, cfg Config, workers int) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, conc.WrapCanceled(fmt.Errorf("sta: %s: %w", n.Name, err))
+	}
+	if len(libs) == 0 {
+		return nil, nil
+	}
+	reg := obs.From(ctx)
+	t0 := time.Now()
+	defer func() {
+		reg.Counter("sta.batch.runs").Inc()
+		reg.Counter("sta.batch.libraries").Add(int64(len(libs)))
+		reg.Histogram("sta.batch.seconds").Since(t0)
+	}()
+	cfg.fill()
+	// Compile the shared topology against the first library; footprints are
+	// library-invariant across the flow's aged variants, so any library
+	// works as the template. Legs that disagree fall back below.
+	topo, err := newTopology(n, libs[0])
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(libs))
+	err = conc.ParFor(ctx, workers, len(libs), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sta: %s: %w", n.Name, err)
+		}
+		reg.Counter("sta.analyses").Inc()
+		b, err := newBinding(topo, libs[i])
+		if err == errFootprint {
+			reg.Counter("sta.incremental.fallbacks").Inc()
+			results[i], err = analyzeReference(n, libs[i], cfg)
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		s := newState(len(topo.nets))
+		if err := forwardFull(topo, b, s, &cfg); err != nil {
+			return err
+		}
+		results[i] = materialize(topo, b, s, &cfg)
+		return nil
+	})
+	if err != nil {
+		return nil, conc.WrapCanceled(err)
+	}
+	return results, nil
+}

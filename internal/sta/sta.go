@@ -17,21 +17,21 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
-	"ageguard/internal/obs"
 	"ageguard/internal/units"
 )
 
 // Config parameterizes the analysis. The zero value selects defaults.
+// The documented defaults are the values fill() actually applies — pinned
+// by TestConfigFillDefaults so comments and code cannot drift apart again.
 type Config struct {
 	InputSlew  float64 // slew assumed at primary inputs [s]; default 20ps
 	ClockSlew  float64 // slew of the clock at sequential pins [s]; default 20ps
-	OutputLoad float64 // load on primary outputs [F]; default 1.5fF
-	WireCap    float64 // base wire cap per net [F]; default 0.25fF
-	WireCapFan float64 // additional wire cap per extra fanout [F]; default 0.12fF
+	OutputLoad float64 // load on primary outputs [F]; default 4fF
+	WireCap    float64 // base wire cap per net [F]; default 2fF
+	WireCapFan float64 // additional wire cap per extra fanout [F]; default 0.5fF
 }
 
 func (c *Config) fill() {
@@ -115,16 +115,28 @@ func Analyze(n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, err
 // itself is pure CPU work over in-memory tables and is not interruptible
 // mid-run; ctx is consulted once on entry so canceled pipelines stop
 // before starting another analysis.
+//
+// Since the incremental engine landed this is a thin wrapper over
+// NewAnalyzer + Result — one-shot callers get the compiled fast path and
+// the deprecated background-ctx wrappers (Analyze, TopPaths) inherit it
+// through here. Callers that re-time the same netlist repeatedly should
+// hold an Analyzer (or use AnalyzeBatchContext for many libraries) to
+// amortize the topology compilation too.
 func AnalyzeContext(ctx context.Context, n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sta: %s: %w", n.Name, err)
+	a, err := NewAnalyzer(ctx, n, lib, cfg)
+	if err != nil {
+		return nil, err
 	}
-	reg := obs.From(ctx)
-	t0 := time.Now()
-	defer func() {
-		reg.Counter("sta.analyses").Inc()
-		reg.Histogram("sta.analyze.seconds").Since(t0)
-	}()
+	return a.Result(), nil
+}
+
+// analyzeReference is the original straight-line analysis: it recomputes
+// levelization, fanout maps and loads from scratch on every call. It is
+// retained verbatim as the executable specification the compiled engine
+// is property-tested against bit-for-bit (see analyzer_test.go), and as
+// the fallback for batch legs whose library footprints don't match the
+// shared topology. New callers should use AnalyzeContext.
+func analyzeReference(n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
 	cfg.fill()
 	look := netlist.LibraryLookup(lib)
 	order, err := n.Levelize(look)

@@ -72,7 +72,7 @@ func SynthesizeContext(ctx context.Context, a *logic.AIG, lib *liberty.Library, 
 		if err != nil {
 			return nil, err
 		}
-		res, err := sta.AnalyzeContext(ctx, cand, lib, sta.Config{})
+		res, err := sta.AnalyzeContext(ctx, cand, lib, cfg.STA)
 		if err != nil {
 			return nil, err
 		}
@@ -176,43 +176,44 @@ func RecoverArea(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlis
 
 func recoverArea(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
-	cur := nl
-	res, err := sta.AnalyzeContext(ctx, cur, lib, sta.Config{})
+	cur := nl.Clone()
+	a, err := sta.NewAnalyzer(ctx, cur, lib, cfg.STA)
 	if err != nil {
 		return nil, err
 	}
+	res := a.Result()
 	for _, frac := range []float64{0.5, 0.3, 0.2, 0.12, 0.06} {
 		threshold := frac * res.CP
-		next := cur.Clone()
-		look := netlist.LibraryLookup(lib)
-		changed := 0
-		for _, in := range next.Insts {
+		var swaps []sta.CellSwap
+		for _, in := range cur.Insts {
 			ct := lib.MustCell(in.Cell)
 			if ct.Seq || ct.Drive == 1 {
 				continue
 			}
-			ci, _ := look(in.Cell)
-			outNet := in.Pins[ci.Output]
+			outNet := in.Pins[ct.Output]
 			if s, ok := res.Slack[outNet]; !ok || s < threshold {
 				continue
 			}
 			smaller := fmt.Sprintf("%s_X%d", ct.Base, ct.Drive/2)
 			if _, ok := lib.Cell(smaller); ok {
-				in.Cell = smaller
-				changed++
+				swaps = append(swaps, sta.CellSwap{Inst: in.Name, Cell: smaller})
 			}
 		}
-		if changed == 0 {
+		if len(swaps) == 0 {
 			continue
 		}
-		nres, err := sta.AnalyzeContext(ctx, next, lib, sta.Config{})
+		undo, err := a.Swap(ctx, swaps...)
 		if err != nil {
 			return nil, err
 		}
-		if nres.CP > res.CP*1.001 {
-			continue // too aggressive at this threshold: skip it
+		if a.CP() > res.CP*1.001 {
+			// Too aggressive at this threshold: reject and try the next.
+			if _, err := a.Swap(ctx, undo...); err != nil {
+				return nil, err
+			}
+			continue
 		}
-		cur, res = next, nres
+		res = a.Result()
 	}
 	return cur, nil
 }
@@ -228,15 +229,18 @@ func SizeGates(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.
 
 func sizeGates(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
-	cur := nl
-	res, err := sta.AnalyzeContext(ctx, cur, lib, sta.Config{})
+	cur := nl.Clone()
+	a, err := sta.NewAnalyzer(ctx, cur, lib, cfg.STA)
 	if err != nil {
 		return nil, err
 	}
+	res := a.Result()
 	for round := 0; round < cfg.SizingRounds; round++ {
+		// Decisions are computed on a scratch clone so that later choices
+		// in the same round see earlier ones (the pin-cap deltas interact),
+		// then applied to the engine as one incremental swap batch.
 		next := cur.Clone()
 		byName := instIndex(next)
-		changed := 0
 		for _, step := range res.Worst.Steps {
 			in := byName[step.Inst]
 			if in == nil {
@@ -245,27 +249,44 @@ func sizeGates(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, c
 			bestCell, improved := bestVariant(lib, res, in, step)
 			if improved && bestCell != in.Cell {
 				in.Cell = bestCell
-				changed++
 			}
 		}
 		// Global phase: every instance in the near-critical region (not
 		// just the single worst path) gets its locally best drive, so the
 		// netlist converges to the library-specific optimum rather than
 		// to whatever the worst-path ordering happened to visit.
-		changed += resizeNearCritical(lib, res, next, byName)
-		if changed == 0 {
+		resizeNearCritical(lib, res, next, byName)
+		swaps := diffSwaps(cur, next)
+		if len(swaps) == 0 {
 			break
 		}
-		nres, err := sta.AnalyzeContext(ctx, next, lib, sta.Config{})
+		undo, err := a.Swap(ctx, swaps...)
 		if err != nil {
 			return nil, err
 		}
-		if nres.CP >= res.CP {
-			break // no global gain: keep the previous netlist
+		if a.CP() >= res.CP {
+			// No global gain: restore the previous netlist and stop.
+			if _, err := a.Swap(ctx, undo...); err != nil {
+				return nil, err
+			}
+			break
 		}
-		cur, res = next, nres
+		res = a.Result()
 	}
 	return cur, nil
+}
+
+// diffSwaps returns the cell substitutions that turn base into next (two
+// netlists with identical instance lists, e.g. a netlist and its mutated
+// clone).
+func diffSwaps(base, next *netlist.Netlist) []sta.CellSwap {
+	var out []sta.CellSwap
+	for i, in := range base.Insts {
+		if nc := next.Insts[i].Cell; nc != in.Cell {
+			out = append(out, sta.CellSwap{Inst: in.Name, Cell: nc})
+		}
+	}
+	return out
 }
 
 // resizeNearCritical applies the local drive choice to every
@@ -403,10 +424,13 @@ func BufferCriticalNets(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (
 	return bufferCriticalNets(context.Background(), nl, lib, cfg)
 }
 
+// bufferCriticalNets edits netlist structure (new buffer instances and
+// rewired pins), which invalidates a compiled Analyzer topology, so each
+// round is verified with a full analysis rather than an incremental swap.
 func bufferCriticalNets(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl
-	res, err := sta.AnalyzeContext(ctx, cur, lib, sta.Config{})
+	res, err := sta.AnalyzeContext(ctx, cur, lib, cfg.STA)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +475,7 @@ func bufferCriticalNets(ctx context.Context, nl *netlist.Netlist, lib *liberty.L
 		if changed == 0 {
 			break
 		}
-		nres, err := sta.AnalyzeContext(ctx, next, lib, sta.Config{})
+		nres, err := sta.AnalyzeContext(ctx, next, lib, cfg.STA)
 		if err != nil {
 			return nil, err
 		}
@@ -491,19 +515,23 @@ func SizeGatesDual(nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg C
 // and STA timings recorded into the registry carried by ctx.
 func SizeGatesDualContext(ctx context.Context, nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
-	cur := nl
-	crit, err := sta.AnalyzeContext(ctx, cur, critLib, sta.Config{})
+	cur := nl.Clone()
+	// Two incremental engines over the same netlist, kept in lockstep: one
+	// times under the aged (criticality) library, the other under the
+	// fresh (costing) library.
+	aCrit, err := sta.NewAnalyzer(ctx, cur, critLib, cfg.STA)
 	if err != nil {
 		return nil, err
 	}
+	aCost, err := sta.NewAnalyzer(ctx, cur, costLib, cfg.STA)
+	if err != nil {
+		return nil, err
+	}
+	crit := aCrit.Result()
 	for round := 0; round < cfg.SizingRounds; round++ {
-		cost, err := sta.AnalyzeContext(ctx, cur, costLib, sta.Config{})
-		if err != nil {
-			return nil, err
-		}
+		cost := aCost.Result()
 		next := cur.Clone()
 		byName := instIndex(next)
-		changed := 0
 		for _, step := range crit.Worst.Steps {
 			in := byName[step.Inst]
 			if in == nil {
@@ -512,20 +540,31 @@ func SizeGatesDualContext(ctx context.Context, nl *netlist.Netlist, costLib, cri
 			bestCell, improved := bestVariant(costLib, cost, in, step)
 			if improved && bestCell != in.Cell {
 				in.Cell = bestCell
-				changed++
 			}
 		}
-		if changed == 0 {
+		swaps := diffSwaps(cur, next)
+		if len(swaps) == 0 {
 			break
 		}
-		ncrit, err := sta.AnalyzeContext(ctx, next, critLib, sta.Config{})
+		// Apply to both engines; undo comes from the first (the second sees
+		// already-updated cells, so its own undo would be a no-op).
+		undo, err := aCrit.Swap(ctx, swaps...)
 		if err != nil {
 			return nil, err
 		}
-		if ncrit.CP >= crit.CP {
+		if _, err := aCost.Swap(ctx, swaps...); err != nil {
+			return nil, err
+		}
+		if aCrit.CP() >= crit.CP {
+			if _, err := aCrit.Swap(ctx, undo...); err != nil {
+				return nil, err
+			}
+			if _, err := aCost.Swap(ctx, undo...); err != nil {
+				return nil, err
+			}
 			break
 		}
-		cur, crit = next, ncrit
+		crit = aCrit.Result()
 	}
 	return cur, nil
 }

@@ -1,0 +1,84 @@
+package synth
+
+import (
+	"testing"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/netlist"
+	"ageguard/internal/sta"
+	"ageguard/internal/units"
+)
+
+// invChain builds a registered inverter chain driving one primary output.
+func invChain(n int) *netlist.Netlist {
+	nl := netlist.New("loadtest")
+	nl.Inputs = []string{"a"}
+	nl.Outputs = []string{"y"}
+	nl.AddInst("rin", "DFF_X1", map[string]string{"D": "a", "CK": netlist.ClockNet, "Q": "w0"})
+	prev := "w0"
+	for i := 0; i < n-1; i++ {
+		out := "w" + string(rune('1'+i))
+		nl.AddInst("inv"+string(rune('0'+i)), "INV_X1", map[string]string{"A": prev, "ZN": out})
+		prev = out
+	}
+	nl.AddInst("drv", "INV_X1", map[string]string{"A": prev, "ZN": "y"})
+	return nl
+}
+
+// TestOutputLoadChangesSizing is the regression test for the zero-config
+// STA bug: the optimization passes used to time every candidate under
+// sta.Config{} regardless of the flow's configuration, so a non-default
+// OutputLoad could never influence which drive strengths win. Now the
+// caller's sta.Config is threaded through Config.STA, a heavy primary-
+// output load must push the PO driver to a stronger drive than the
+// default load does.
+func TestOutputLoadChangesSizing(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	light := Config{STA: sta.Config{OutputLoad: 1 * units.FF}}
+	heavy := Config{STA: sta.Config{OutputLoad: 60 * units.FF}}
+
+	drive := func(cfg Config) int {
+		t.Helper()
+		sized, err := SizeGates(invChain(4), lib, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range sized.Insts {
+			if in.Name == "drv" {
+				return lib.MustCell(in.Cell).Drive
+			}
+		}
+		t.Fatal("drv instance lost")
+		return 0
+	}
+	dl, dh := drive(light), drive(heavy)
+	if dh <= dl {
+		t.Errorf("PO driver drive under 60fF load = X%d, not above X%d under 1fF — sta.Config not threaded through sizing", dh, dl)
+	}
+}
+
+// TestSizeGatesDoesNotMutateInput: the optimization passes hand their
+// netlist to an incremental Analyzer that swaps cells in place, so they
+// must operate on a private clone.
+func TestSizeGatesDoesNotMutateInput(t *testing.T) {
+	lib := testLib(t, aging.Fresh())
+	nl := invChain(4)
+	before := make(map[string]string)
+	for _, in := range nl.Insts {
+		before[in.Name] = in.Cell
+	}
+	if _, err := SizeGates(nl, lib, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverArea(nl, lib, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SizeGatesDual(nl, lib, lib, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range nl.Insts {
+		if in.Cell != before[in.Name] {
+			t.Errorf("input netlist mutated: %s %s -> %s", in.Name, before[in.Name], in.Cell)
+		}
+	}
+}

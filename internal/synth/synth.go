@@ -23,6 +23,7 @@ import (
 	"ageguard/internal/liberty"
 	"ageguard/internal/logic"
 	"ageguard/internal/netlist"
+	"ageguard/internal/sta"
 	"ageguard/internal/units"
 )
 
@@ -53,6 +54,14 @@ type Config struct {
 
 	SizingRounds int  // timing-driven sizing iterations; default 4
 	Buffering    bool // enable buffer insertion on critical high-fanout nets
+
+	// STA parameterizes the timing analyses that drive seed selection,
+	// gate sizing, buffer insertion and area recovery. The zero value
+	// selects the sta defaults. Flows must thread the same sta.Config here
+	// that their final signoff analysis uses — the optimizer used to
+	// always time candidates under the zero config, silently diverging
+	// from the flow's input slew / output load / wire caps.
+	STA sta.Config
 }
 
 func (c *Config) fill() {

@@ -36,13 +36,20 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	BENCH_PR4_OUT=$$(mktemp) BENCH_PR4_ITERS=1 $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1
+	BENCH_PR6_OUT=$$(mktemp) BENCH_PR6_ITERS=1 $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1
 
-# bench reproduces BENCH_PR4.json: incremental-STA inner loop vs full
-# re-analysis, and the 121-library grid fan-out vs serial analysis.
-# The checked-in file is the reference result; regenerate after touching
-# the engine and commit the update if the speedups moved.
+# bench reproduces the checked-in benchmark reports:
+#   BENCH_PR4.json — incremental-STA inner loop vs full re-analysis, and
+#                    the 121-library grid fan-out vs serial analysis;
+#   BENCH_PR6.json — analytic-Jacobian transient kernel per-arc time and
+#                    allocation counts vs the pre-PR6 finite-difference
+#                    solver (plus a small CharacterizeContext wall clock).
+# The checked-in files are the reference results; regenerate after
+# touching the engines and commit the update if the speedups moved.
 bench:
 	BENCH_PR4_OUT=$(CURDIR)/BENCH_PR4.json $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1 -v
+	BENCH_PR6_OUT=$(CURDIR)/BENCH_PR6.json $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1 -v
+	$(GO) test ./internal/char/ -run XXX -bench 'BenchmarkArcTransient|BenchmarkCharacterizeINVX1' -benchtime 1s
 
 # faults runs the fault-injection and recovery suite — solver retry
 # ladder, grid-point salvage, checkpoint/resume, cache corruption and

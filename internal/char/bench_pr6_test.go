@@ -1,0 +1,215 @@
+package char
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/cells"
+	"ageguard/internal/liberty"
+	"ageguard/internal/units"
+)
+
+// This file measures the transistor-level transient kernel — the hot path
+// of every characterization run — at two levels:
+//
+//  1. one full per-arc characterization point (circuit build +
+//     retry-ladder transient + delay/slew measurement) on a single-stage
+//     INV_X1 and a multi-stage XOR2_X1 arc, with allocation tracking
+//     (b.ReportAllocs), in both Jacobian modes;
+//  2. a small CharacterizeContext run (wall clock), the unit of work the
+//     121-library grid repeats.
+//
+// TestBenchPR6Emit runs the same workloads and writes BENCH_PR6.json
+// ("make bench"). The embedded seed* constants are these exact workloads
+// measured on the pre-PR6 tree (commit 0e6370b: finite-difference MOS
+// Jacobian, [][]float64 LU, a fresh volts() slice per accepted step), so
+// the recorded speedups are against the real pre-change solver, not
+// against the FiniteDiffJacobian escape hatch (which already benefits
+// from compiled stamps, the flat LU kernel and pooling).
+const (
+	seedArcINVNs      = 56437.0
+	seedArcINVAllocs  = 244.0
+	seedArcXORNs      = 537740.0
+	seedArcXORAllocs  = 263.0
+	seedCharINVNs     = 1239672.0
+	seedCharINVAllocs = 4646.0
+)
+
+// benchArc returns a closure running one complete characterization point
+// of the cell's first combinational arc: rise edge, 100 ps input slew,
+// 4 fF load — the middle of the OPC grid.
+func benchArc(tb testing.TB, cfg Config, cellName string) func() {
+	tb.Helper()
+	cell, ok := cells.ByName(cellName)
+	if !ok {
+		tb.Fatalf("no cell %s", cellName)
+	}
+	specs := DiscoverArcs(cell)
+	if len(specs) == 0 {
+		tb.Fatalf("no arcs for %s", cellName)
+	}
+	spec := specs[0]
+	scen := aging.WorstCase(10)
+	ctx := context.Background()
+	pi := cell.PinIndex(spec.Pin)
+	slew, load := 100*units.Ps, 4*units.FF
+	return func() {
+		p := Point{Cell: cell.Name, Pin: spec.Pin, Edge: liberty.Rise}
+		m, err := cfg.simComb(ctx, cell, scen, spec, p, pi,
+			spec.Sense.InputEdge(liberty.Rise), liberty.Rise, slew, load)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if m.delay <= 0 {
+			tb.Fatalf("implausible delay %v", m.delay)
+		}
+	}
+}
+
+func benchArcRun(b *testing.B, cellName string, fd bool) {
+	cfg := TestConfig()
+	cfg.FiniteDiffJacobian = fd
+	run := benchArc(b, cfg, cellName)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkArcTransientINVX1(b *testing.B)   { benchArcRun(b, "INV_X1", false) }
+func BenchmarkArcTransientINVX1FD(b *testing.B) { benchArcRun(b, "INV_X1", true) }
+func BenchmarkArcTransientXOR2X1(b *testing.B)  { benchArcRun(b, "XOR2_X1", false) }
+func BenchmarkArcTransientXOR2X1FD(b *testing.B) {
+	benchArcRun(b, "XOR2_X1", true)
+}
+
+// BenchmarkCharacterizeINVX1 measures the small CharacterizeContext unit
+// (one cell, 3x3 grid, no cache) that scenario sweeps repeat 121 times.
+func BenchmarkCharacterizeINVX1(b *testing.B) {
+	cfg := TestConfig()
+	cfg.CacheDir = ""
+	cfg.Cells = []string{"INV_X1"}
+	cfg.Parallelism = 1
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMeasure is one measured workload: best-of-iters wall time and the
+// heap allocation count of that best run.
+type benchMeasure struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_PR6.json document.
+type benchReport struct {
+	Date       string                  `json:"date"`
+	GoVersion  string                  `json:"go_version"`
+	CPUs       int                     `json:"cpus"`
+	Iterations int                     `json:"iterations"`
+	Baseline   string                  `json:"baseline"`
+	Seed       map[string]benchMeasure `json:"seed_pre_pr6"`
+	Now        map[string]benchMeasure `json:"optimized"`
+	Speedup    map[string]float64      `json:"speedup"`
+}
+
+func measureBest(iters int, f func()) benchMeasure {
+	f() // warm up: caches, solver pool
+	best := benchMeasure{NsPerOp: float64(1 << 62)}
+	for i := 0; i < iters; i++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		f()
+		ns := float64(time.Since(t0).Nanoseconds())
+		runtime.ReadMemStats(&m1)
+		if ns < best.NsPerOp {
+			best = benchMeasure{NsPerOp: ns, AllocsPerOp: float64(m1.Mallocs - m0.Mallocs)}
+		}
+	}
+	return best
+}
+
+// TestBenchPR6Emit produces BENCH_PR6.json. Skipped unless BENCH_PR6_OUT
+// names the output file; BENCH_PR6_ITERS overrides the repetition count
+// (1 = smoke mode for "make verify").
+func TestBenchPR6Emit(t *testing.T) {
+	out := os.Getenv("BENCH_PR6_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR6_OUT to emit the benchmark report")
+	}
+	iters := 10
+	if s := os.Getenv("BENCH_PR6_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad BENCH_PR6_ITERS=%q", s)
+		}
+		iters = n
+	}
+	rep := benchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Iterations: iters,
+		Baseline: "pre-PR6 solver at commit 0e6370b: finite-difference MOS Jacobian, " +
+			"[][]float64 LU with per-row allocations, fresh volts() slice per accepted step",
+		Seed: map[string]benchMeasure{
+			"arc_inv_x1":          {NsPerOp: seedArcINVNs, AllocsPerOp: seedArcINVAllocs},
+			"arc_xor2_x1":         {NsPerOp: seedArcXORNs, AllocsPerOp: seedArcXORAllocs},
+			"characterize_inv_x1": {NsPerOp: seedCharINVNs, AllocsPerOp: seedCharINVAllocs},
+		},
+		Now:     map[string]benchMeasure{},
+		Speedup: map[string]float64{},
+	}
+
+	cfg := TestConfig()
+	rep.Now["arc_inv_x1"] = measureBest(iters, benchArc(t, cfg, "INV_X1"))
+	rep.Now["arc_xor2_x1"] = measureBest(iters, benchArc(t, cfg, "XOR2_X1"))
+
+	ccfg := TestConfig()
+	ccfg.CacheDir = ""
+	ccfg.Cells = []string{"INV_X1"}
+	ccfg.Parallelism = 1
+	ctx := context.Background()
+	rep.Now["characterize_inv_x1"] = measureBest(iters, func() {
+		if _, err := ccfg.CharacterizeContext(ctx, aging.WorstCase(10)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	for k, s := range rep.Seed {
+		if n, ok := rep.Now[k]; ok && n.NsPerOp > 0 {
+			rep.Speedup[k] = s.NsPerOp / n.NsPerOp
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for k, sp := range rep.Speedup {
+		t.Logf("%s: seed %.1fus -> now %.1fus (%.2fx, allocs %.0f -> %.0f)",
+			k, rep.Seed[k].NsPerOp/1e3, rep.Now[k].NsPerOp/1e3, sp,
+			rep.Seed[k].AllocsPerOp, rep.Now[k].AllocsPerOp)
+	}
+	if iters > 1 {
+		if sp := rep.Speedup["arc_xor2_x1"]; sp < 2 {
+			t.Errorf("multi-stage per-arc transient speedup %.2fx < 2x", sp)
+		}
+	}
+}

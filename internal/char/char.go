@@ -103,6 +103,15 @@ type Config struct {
 	// that contain salvaged points (they are rebuilt instead).
 	Strict bool
 
+	// FiniteDiffJacobian characterizes with the solver's legacy
+	// finite-difference MOS Jacobian instead of the analytic-derivative
+	// stamps (spice.Options.FiniteDiffJacobian). Converged delays and
+	// slews agree within solver tolerance either way — proven by a
+	// differential test over the full cell catalog — so, like the
+	// resilience knobs, this debugging mode is excluded from the cache
+	// config hash.
+	FiniteDiffJacobian bool
+
 	// FaultInject, when non-nil, is invoked before every transient
 	// attempt with the point identity and the retry rung (0 = first
 	// try); a non-nil return is treated as that attempt's failure. It is

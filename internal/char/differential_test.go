@@ -1,0 +1,94 @@
+package char
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/liberty"
+	"ageguard/internal/units"
+)
+
+// TestAnalyticJacobianMatchesFiniteDifference characterizes the full cell
+// catalog twice — once with the analytic-derivative MOS stamps (plus the
+// Newton predictor) and once with Config.FiniteDiffJacobian, which
+// reproduces the legacy solver's trajectory — and requires every delay
+// and output-slew table entry of every arc to agree tightly. Both modes
+// solve the same residual to the same per-step tolerance; any systematic
+// divergence here means the analytic derivatives (or the predictor) broke
+// the physics, not just the iteration path.
+func TestAnalyticJacobianMatchesFiniteDifference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog differential characterization")
+	}
+	run := func(fd bool) *liberty.Library {
+		cfg := TestConfig()
+		cfg.CacheDir = "" // never let one mode serve the other from cache
+		cfg.FiniteDiffJacobian = fd
+		lib, err := cfg.CharacterizeContext(context.Background(), aging.WorstCase(10))
+		if err != nil {
+			t.Fatalf("characterize (fd=%v): %v", fd, err)
+		}
+		return lib
+	}
+	ana, ref := run(false), run(true)
+
+	// Tolerance: per-step Newton tolerance is 1e-7 V, so converged
+	// waveforms agree to microvolts; table differences come only from
+	// adaptive time grids diverging after voltage differences flip a
+	// borderline accept/reject. 0.2% relative (plus 10 fs absolute floor
+	// for near-zero entries) is far below any delay the downstream STA
+	// can distinguish, yet far above what matching physics produces.
+	const relTol, absTol = 2e-3, 10e-15
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= absTol+relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	checkTable := func(cell, pin, kind string, e liberty.Edge, a, b *liberty.Table) {
+		t.Helper()
+		if (a == nil) != (b == nil) {
+			t.Fatalf("%s/%s %s %s: table present in one mode only", cell, pin, kind, e)
+		}
+		if a == nil {
+			return
+		}
+		for i := range a.Values {
+			for j := range a.Values[i] {
+				va, vb := a.Values[i][j], b.Values[i][j]
+				if !close(va, vb) {
+					t.Errorf("%s/%s %s %s (%d,%d): analytic %s vs fd %s",
+						cell, pin, kind, e, i, j, units.PsString(va), units.PsString(vb))
+				}
+			}
+		}
+	}
+	if len(ana.Cells) == 0 || len(ana.Cells) != len(ref.Cells) {
+		t.Fatalf("cell count mismatch: analytic %d, fd %d", len(ana.Cells), len(ref.Cells))
+	}
+	arcs := 0
+	for name, ca := range ana.Cells {
+		cr, ok := ref.Cells[name]
+		if !ok {
+			t.Fatalf("cell %s missing from fd library", name)
+		}
+		if len(ca.Arcs) != len(cr.Arcs) {
+			t.Fatalf("%s: arc count %d vs %d", name, len(ca.Arcs), len(cr.Arcs))
+		}
+		for k := range ca.Arcs {
+			aa, ar := &ca.Arcs[k], &cr.Arcs[k]
+			if aa.Pin != ar.Pin || aa.When != ar.When {
+				t.Fatalf("%s arc %d: identity mismatch (%s/%d vs %s/%d)",
+					name, k, aa.Pin, aa.When, ar.Pin, ar.When)
+			}
+			for _, e := range []liberty.Edge{liberty.Rise, liberty.Fall} {
+				checkTable(name, aa.Pin, "delay", e, aa.Delay[e], ar.Delay[e])
+				checkTable(name, aa.Pin, "slew", e, aa.OutSlew[e], ar.OutSlew[e])
+			}
+			arcs++
+		}
+	}
+	if arcs == 0 {
+		t.Fatal("differential test compared no arcs")
+	}
+	t.Logf("compared %d arcs across %d cells", arcs, len(ana.Cells))
+}

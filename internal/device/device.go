@@ -150,6 +150,43 @@ func (p Params) Ids(vd, vg, vs float64) float64 {
 	}
 }
 
+// IdsDeriv returns the channel current together with its partial
+// derivatives with respect to the three terminal voltages:
+//
+//	gds = dIds/dVd, gm = dIds/dVg, gms = dIds/dVs
+//
+// evaluated analytically from the same piecewise model as Ids (the
+// returned ids is bit-identical to Ids at the same bias). The transient
+// solver stamps these directly into the Newton Jacobian, replacing the
+// finite-difference evaluation that costs up to four Ids calls per device
+// per iteration. Because the model depends only on voltage differences,
+// gms == -(gds+gm) holds identically; it is returned anyway so callers
+// can stamp without re-deriving the identity.
+//
+// The derivatives are those of the exact piecewise expressions. The model
+// is continuous everywhere and C1 except exactly at the linear/saturation
+// boundary when CLM > 0 (a measure-zero set where finite differences are
+// equally arbitrary); Newton iteration only requires the residual to be
+// exact, which it is.
+func (p Params) IdsDeriv(vd, vg, vs float64) (ids, gds, gm, gms float64) {
+	switch p.Type {
+	case NMOS:
+		if vd >= vs {
+			i, dg, dd := p.channelDeriv(vg-vs, vd-vs)
+			return i, dd, dg, -(dg + dd)
+		}
+		i, dg, dd := p.channelDeriv(vg-vd, vs-vd)
+		return -i, dg + dd, -dg, -dd
+	default: // PMOS: mirror voltages
+		if vd <= vs {
+			i, dg, dd := p.channelDeriv(vs-vg, vs-vd)
+			return -i, dd, dg, -(dg + dd)
+		}
+		i, dg, dd := p.channelDeriv(vd-vg, vd-vs)
+		return i, dg + dd, -dg, -dd
+	}
+}
+
 // channel evaluates the velocity-saturated square-law current for
 // vgs, vds >= 0 in the NMOS frame, returning a non-negative current.
 func (p Params) channel(vgs, vds float64) float64 {
@@ -168,6 +205,109 @@ func (p Params) channel(vgs, vds float64) float64 {
 		return isat * (1 + p.CLM*(vds-vdsat))
 	}
 	return p.Mu * p.Cox * (p.W / p.L) * (vov - vds/2) * vds / (1 + vds/el)
+}
+
+// channelDeriv evaluates channel together with its partial derivatives
+// with respect to vgs and vds. The value path mirrors channel exactly so
+// that ids from IdsDeriv is bit-identical to Ids.
+func (p Params) channelDeriv(vgs, vds float64) (i, dg, dd float64) {
+	vov := vgs - p.Vth
+	if vov <= 0 {
+		return 0, 0, 0
+	}
+	el := p.EsatL()
+	vdsat := vov * el / (vov + el)
+	if vds >= vdsat {
+		den := vov + el
+		isat := p.W * p.Vsat * p.Cox * vov * vov / den
+		clm := 1 + p.CLM*(vds-vdsat)
+		i = isat * clm
+		// d(isat)/dvov and d(vdsat)/dvov chain through vov = vgs - Vth.
+		dIsat := p.W * p.Vsat * p.Cox * vov * (vov + 2*el) / (den * den)
+		dVdsat := el * el / (den * den)
+		dg = dIsat*clm - isat*p.CLM*dVdsat
+		dd = isat * p.CLM
+		return i, dg, dd
+	}
+	g := p.Mu * p.Cox * (p.W / p.L)
+	den := 1 + vds/el
+	i = g * (vov - vds/2) * vds / den
+	dg = g * vds / den
+	// Quotient rule on N/den with N = vov*vds - vds^2/2, den' = 1/el.
+	dd = g * ((vov-vds)*den - (vov*vds-vds*vds/2)/el) / (den * den)
+	return i, dg, dd
+}
+
+// Model is the precomputed hot-path form of a device's compact model: the
+// bias-independent parameter combinations (EsatL, the saturation and
+// linear-region current prefactors) folded into six scalars so the
+// transient solver's inner loop neither copies a full Params value per
+// evaluation nor recomputes them. Eval is bit-identical to IdsDeriv — the
+// prefactors are folded in the exact association order the Params methods
+// use, and a device test asserts exact equality over a bias grid.
+type Model struct {
+	pmos bool
+	vth  float64
+	el   float64 // EsatL
+	kSat float64 // W*Vsat*Cox
+	kLin float64 // Mu*Cox*(W/L)
+	clm  float64
+}
+
+// Model precomputes the compact-model constants of p.
+func (p Params) Model() Model {
+	return Model{
+		pmos: p.Type == PMOS,
+		vth:  p.Vth,
+		el:   p.EsatL(),
+		kSat: p.W * p.Vsat * p.Cox,
+		kLin: p.Mu * p.Cox * (p.W / p.L),
+		clm:  p.CLM,
+	}
+}
+
+// Eval is IdsDeriv evaluated through the precomputed constants; see
+// IdsDeriv for the sign conventions and derivative definitions.
+func (m *Model) Eval(vd, vg, vs float64) (ids, gds, gm, gms float64) {
+	if m.pmos {
+		if vd <= vs {
+			i, dg, dd := m.channelDeriv(vs-vg, vs-vd)
+			return -i, dd, dg, -(dg + dd)
+		}
+		i, dg, dd := m.channelDeriv(vd-vg, vd-vs)
+		return i, dg + dd, -dg, -dd
+	}
+	if vd >= vs {
+		i, dg, dd := m.channelDeriv(vg-vs, vd-vs)
+		return i, dd, dg, -(dg + dd)
+	}
+	i, dg, dd := m.channelDeriv(vg-vd, vs-vd)
+	return -i, dg + dd, -dg, -dd
+}
+
+func (m *Model) channelDeriv(vgs, vds float64) (i, dg, dd float64) {
+	vov := vgs - m.vth
+	if vov <= 0 {
+		return 0, 0, 0
+	}
+	el := m.el
+	vdsat := vov * el / (vov + el)
+	if vds >= vdsat {
+		den := vov + el
+		isat := m.kSat * vov * vov / den
+		clm := 1 + m.clm*(vds-vdsat)
+		i = isat * clm
+		dIsat := m.kSat * vov * (vov + 2*el) / (den * den)
+		dVdsat := el * el / (den * den)
+		dg = dIsat*clm - isat*m.clm*dVdsat
+		dd = isat * m.clm
+		return i, dg, dd
+	}
+	den := 1 + vds/el
+	i = m.kLin * (vov - vds/2) * vds / den
+	dg = m.kLin * vds / den
+	dd = m.kLin * ((vov-vds)*den - (vov*vds-vds*vds/2)/el) / (den * den)
+	return i, dg, dd
 }
 
 // Gm returns the numerical transconductance dIds/dVg at the operating point.

@@ -146,3 +146,117 @@ func TestPMOSCurrentSign(t *testing.T) {
 		t.Errorf("pMOS pull-up current sign wrong: %g", i)
 	}
 }
+
+// TestIdsDerivMatchesValue: the ids returned by IdsDeriv must be
+// bit-identical to Ids at every bias (the solver uses it for the residual,
+// so any discrepancy would change simulated waveforms, not just the
+// Newton path).
+func TestIdsDerivMatchesValue(t *testing.T) {
+	for _, p := range []Params{freshN(), freshP(), freshN().Degrade(0.065, 0.89), freshP().Degrade(0.031, 0.97)} {
+		for vd := -0.2; vd <= 1.3; vd += 0.05 {
+			for vg := -0.2; vg <= 1.3; vg += 0.05 {
+				for vs := -0.2; vs <= 1.3; vs += 0.05 {
+					ids, _, _, _ := p.IdsDeriv(vd, vg, vs)
+					if want := p.Ids(vd, vg, vs); ids != want {
+						t.Fatalf("%s IdsDeriv(%g,%g,%g) value %g != Ids %g",
+							p.Type, vd, vg, vs, ids, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIdsDerivMatchesFiniteDifference: each analytic partial derivative
+// must agree with a central finite difference of Ids away from the
+// piecewise-model boundaries (cutoff, drain/source exchange, vdsat), where
+// one-sided slopes legitimately differ.
+func TestIdsDerivMatchesFiniteDifference(t *testing.T) {
+	const h = 1e-6
+	near := func(a, b float64) bool { return math.Abs(a-b) < 10*h }
+	for _, p := range []Params{freshN(), freshP(), freshN().Degrade(0.065, 0.89), freshP().Degrade(0.031, 0.97)} {
+		checked := 0
+		for vd := 0.0; vd <= 1.21; vd += 0.11 {
+			for vg := 0.0; vg <= 1.21; vg += 0.11 {
+				for vs := 0.0; vs <= 1.21; vs += 0.11 {
+					// Skip biases within 10h of a piecewise boundary: the
+					// central difference would straddle two branches there.
+					if near(vd, vs) {
+						continue
+					}
+					vgs, vds := vg-vs, vd-vs
+					if p.Type == PMOS {
+						vgs, vds = vs-vg, vs-vd
+					}
+					if vds < 0 {
+						vgs, vds = vgs+vds, -vds
+					}
+					vov := vgs - p.Vth
+					if near(vov, 0) {
+						continue
+					}
+					if el := p.EsatL(); vov > 0 && near(vds, vov*el/(vov+el)) {
+						continue
+					}
+					_, gds, gm, gms := p.IdsDeriv(vd, vg, vs)
+					fd := func(f func(h float64) float64) float64 {
+						return (f(h) - f(-h)) / (2 * h)
+					}
+					wantGds := fd(func(e float64) float64 { return p.Ids(vd+e, vg, vs) })
+					wantGm := fd(func(e float64) float64 { return p.Ids(vd, vg+e, vs) })
+					wantGms := fd(func(e float64) float64 { return p.Ids(vd, vg, vs+e) })
+					scale := math.Max(1e-6, math.Abs(wantGds)+math.Abs(wantGm)+math.Abs(wantGms))
+					for _, c := range []struct {
+						name      string
+						got, want float64
+					}{{"gds", gds, wantGds}, {"gm", gm, wantGm}, {"gms", gms, wantGms}} {
+						if math.Abs(c.got-c.want) > 1e-5*scale+1e-9 {
+							t.Fatalf("%s %s(%g,%g,%g) = %g, finite difference %g",
+								p.Type, c.name, vd, vg, vs, c.got, c.want)
+						}
+					}
+					checked++
+				}
+			}
+		}
+		if checked < 500 {
+			t.Fatalf("only %d interior biases checked for %s", checked, p.Type)
+		}
+	}
+}
+
+// TestIdsDerivDifferenceIdentity: the model depends on terminal voltages
+// only through differences, so the derivative sum must vanish.
+func TestIdsDerivDifferenceIdentity(t *testing.T) {
+	p := freshN()
+	for vd := 0.0; vd <= 1.1; vd += 0.1 {
+		for vg := 0.0; vg <= 1.1; vg += 0.1 {
+			_, gds, gm, gms := p.IdsDeriv(vd, vg, 0.3)
+			if s := gds + gm + gms; math.Abs(s) > 1e-12 {
+				t.Fatalf("gds+gm+gms = %g at (%g,%g,0.3)", s, vd, vg)
+			}
+		}
+	}
+}
+
+// TestModelMatchesIdsDeriv: the precomputed Model form used by the
+// transient solver's inner loop must be bit-identical to IdsDeriv — the
+// prefactors are folded in the same association order, so every output
+// must match exactly, not just within tolerance.
+func TestModelMatchesIdsDeriv(t *testing.T) {
+	for _, p := range []Params{freshN(), freshP(), freshN().Degrade(0.065, 0.89), freshP().Degrade(0.031, 0.97)} {
+		m := p.Model()
+		for vd := -0.2; vd <= 1.3; vd += 0.05 {
+			for vg := -0.2; vg <= 1.3; vg += 0.05 {
+				for vs := -0.2; vs <= 1.3; vs += 0.05 {
+					i0, gds0, gm0, gms0 := p.IdsDeriv(vd, vg, vs)
+					i1, gds1, gm1, gms1 := m.Eval(vd, vg, vs)
+					if i0 != i1 || gds0 != gds1 || gm0 != gm1 || gms0 != gms1 {
+						t.Fatalf("%s Model.Eval(%g,%g,%g) = (%g,%g,%g,%g) != IdsDeriv (%g,%g,%g,%g)",
+							p.Type, vd, vg, vs, i1, gds1, gm1, gms1, i0, gds0, gm0, gms0)
+					}
+				}
+			}
+		}
+	}
+}

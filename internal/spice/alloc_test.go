@@ -1,0 +1,87 @@
+package spice
+
+import (
+	"math/rand"
+	"testing"
+
+	"ageguard/internal/units"
+)
+
+// TestTransientAllocsPerStep pins the zero-allocation contract of the
+// stepping loop: once the solver pool is warm, a whole transient run
+// allocates only the escaping Result (header, time axis, sample arena) —
+// a handful of allocations regardless of how many steps it takes, so the
+// per-accepted-step rate must be ~0.
+func TestTransientAllocsPerStep(t *testing.T) {
+	c, in, _ := inverter(4*units.FF, 0, 1, 0, 1)
+	t0 := 100 * units.Ps
+	c.Drive(in, Ramp{T0: t0, Slew: 100 * units.Ps, V0: 0, V1: vdd})
+	tstop := 2 * units.Ns
+	opts := Options{MaxStep: 10 * units.Ps}
+
+	var steps int
+	run := func() {
+		res, err := c.Run(tstop, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps = res.Samples() - 1
+	}
+	run() // warm: compile, pool, metric names
+	allocs := testing.AllocsPerRun(20, run)
+	if steps < 100 {
+		t.Fatalf("transient too short to be meaningful: %d steps", steps)
+	}
+	// The Result escapes (header + 2 slice pre-allocations) and the pool
+	// can be emptied by a GC mid-measurement; 16 allocations per *run*
+	// leaves room for both while still proving the loop itself is clean.
+	if allocs > 16 {
+		t.Errorf("transient run allocated %.0f times (%d steps)", allocs, steps)
+	}
+	if perStep := allocs / float64(steps); perStep > 0.1 {
+		t.Errorf("%.3f allocs per accepted step, want ~0", perStep)
+	}
+}
+
+// TestCrossBinarySearchMatchesLinearScan is the regression guard for the
+// binary-search 'after' seek in Result.Cross: on randomized waveforms it
+// must return exactly what the straightforward linear scan returns, for
+// both directions and for 'after' values before, inside and beyond the
+// trace.
+func TestCrossBinarySearchMatchesLinearScan(t *testing.T) {
+	linearCross := func(r *Result, n NodeID, v float64, rising bool, after float64) (float64, bool) {
+		for i := 1; i < len(r.T); i++ {
+			if r.T[i] < after {
+				continue
+			}
+			a, b := r.Voltage(i-1, n), r.Voltage(i, n)
+			if rising && a < v && b >= v || !rising && a > v && b <= v {
+				f := (v - a) / (b - a)
+				return units.Lerp(r.T[i-1], r.T[i], f), true
+			}
+		}
+		return 0, false
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		ns := 2 + rng.Intn(40)
+		r := &Result{nn: 1}
+		tt := 0.0
+		for i := 0; i < ns; i++ {
+			tt += rng.Float64()
+			r.T = append(r.T, tt)
+			r.v = append(r.v, rng.Float64()*2-1)
+		}
+		for _, rising := range []bool{true, false} {
+			v := rng.Float64()*2 - 1
+			for _, after := range []float64{-1, 0, r.T[0], tt * rng.Float64(), r.T[ns-1], tt + 1} {
+				gt, gok := r.Cross(0, v, rising, after)
+				wt, wok := linearCross(r, 0, v, rising, after)
+				if gt != wt || gok != wok {
+					t.Fatalf("trial %d rising=%v after=%v: Cross = (%v,%v), linear scan = (%v,%v)",
+						trial, rising, after, gt, gok, wt, wok)
+				}
+			}
+		}
+	}
+}

@@ -95,16 +95,23 @@ func (c *Circuit) RunRetry(tstop float64, opts Options, retries int) (*Result, e
 // spice.retry.attempts counts ladder re-runs, spice.retry.recovered
 // counts transients rescued by a later rung, and spice.retry.exhausted
 // counts transients that failed even at the most conservative rung.
+//
+// The whole ladder runs on one pooled solver: the circuit's stamp
+// program is compiled once on the first rung and every later rung reuses
+// it (and all solver scratch), so climbing the ladder allocates nothing
+// beyond the per-attempt result arena.
 func (c *Circuit) RunRetryContext(ctx context.Context, tstop float64, opts Options, retries int) (*Result, error) {
 	if retries < 0 {
 		retries = 0
 	}
 	reg := obs.From(ctx)
+	s := acquireSolver(reg)
+	defer s.release()
 	var lastErr error
 	for rung := 0; rung <= retries; rung++ {
 		o := opts.escalate(tstop, rung)
 		o.attempt = rung
-		res, err := c.RunContext(ctx, tstop, o)
+		res, err := c.runTransient(ctx, tstop, o, s, reg)
 		if err == nil {
 			if rung > 0 {
 				reg.Counter("spice.retry.recovered").Inc()

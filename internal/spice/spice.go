@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"ageguard/internal/conc"
@@ -186,6 +187,16 @@ type Options struct {
 	// tests; production configurations leave it nil.
 	FaultHook func(attempt int) error
 
+	// FiniteDiffJacobian selects the legacy finite-difference MOS
+	// Jacobian (one Ids evaluation per free terminal per Newton
+	// iteration) instead of the analytic device.IdsDeriv stamps. The
+	// residual — and therefore the converged waveform — is the same
+	// either way; this escape hatch exists to cross-check the analytic
+	// derivatives end to end (differential tests characterize the full
+	// cell catalog in both modes) and to debug suspected derivative
+	// regressions after compact-model changes. Default false (analytic).
+	FiniteDiffJacobian bool
+
 	attempt int // escalation-ladder rung, set by RunRetryContext
 }
 
@@ -205,11 +216,22 @@ func (o *Options) fill(tstop float64) {
 }
 
 // Result holds sampled waveforms for every node of a transient run.
+// Voltages are stored in one flat arena (stride = node count) appended to
+// in place as steps are accepted, so the transient loop performs no
+// per-step slice allocation; read them through At, Voltage, Final, Cross
+// and Slew.
 type Result struct {
-	c *Circuit
-	T []float64   // sample times, ascending
-	V [][]float64 // V[i][n] = voltage of node n at T[i]
+	c  *Circuit
+	T  []float64 // sample times, ascending
+	nn int       // voltages per sample (total node count)
+	v  []float64 // flat sample arena: sample i starts at i*nn
 }
+
+// Samples returns the number of recorded time samples.
+func (r *Result) Samples() int { return len(r.T) }
+
+// Voltage returns the voltage of node n at sample index i.
+func (r *Result) Voltage(i int, n NodeID) float64 { return r.v[i*r.nn+int(n)] }
 
 // ErrNoConvergence is returned when Newton iteration fails even at the
 // minimum time step.
@@ -232,20 +254,28 @@ func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
 // and rejected steps, Newton iterations, wall time) is recorded into the
 // metrics registry carried by ctx (obs.From).
 func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (*Result, error) {
-	opts.fill(tstop)
-	nu := 0
-	for i := range c.nodes {
-		if c.nodes[i].kind == kindFree {
-			c.nodes[i].idx = nu
-			nu++
-		} else {
-			c.nodes[i].idx = -1
-		}
-	}
-	s := &solver{c: c, nu: nu, opts: opts}
-	s.init()
-
 	reg := obs.From(ctx)
+	s := acquireSolver(reg)
+	defer s.release()
+	return c.runTransient(ctx, tstop, opts, s, reg)
+}
+
+// runTransient performs one transient attempt on a caller-owned solver.
+// The solver's compiled stamp program is reused when it already belongs
+// to this circuit (the retry ladder passes one solver through every
+// rung); only the voltage state is reinitialized per attempt.
+func (c *Circuit) runTransient(ctx context.Context, tstop float64, opts Options, s *solver, reg *obs.Registry) (*Result, error) {
+	opts.fill(tstop)
+	if s.c != c {
+		s.compile(c)
+	}
+	s.initState(opts)
+	if opts.FiniteDiffJacobian {
+		reg.Counter("spice.jacobian.fd").Inc()
+	} else {
+		reg.Counter("spice.jacobian.analytic").Inc()
+	}
+
 	t0 := time.Now()
 	accepted, rejected := int64(0), int64(0)
 	defer func() {
@@ -276,8 +306,17 @@ func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (
 		reg.Counter("spice.noconverge").Inc()
 		return nil, err
 	}
-	res := &Result{c: c}
-	res.append(0, s.volts())
+	// Pre-size the sample arena for the expected step count; adaptive
+	// stepping may exceed it, in which case append's amortized doubling
+	// takes over.
+	est := int(tstop/opts.MaxStep) + 16
+	res := &Result{
+		c:  c,
+		nn: len(c.nodes),
+		T:  make([]float64, 0, 2*est),
+		v:  make([]float64, 0, 2*est*len(c.nodes)),
+	}
+	res.appendSample(0, s.vPrev)
 	t, h := 0.0, opts.MaxStep/16
 	for t < tstop {
 		if err := ctx.Err(); err != nil {
@@ -302,10 +341,10 @@ func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (
 			rejected++
 			h /= 2
 		default:
-			s.accept()
+			s.acceptStep(h)
 			accepted++
 			t += h
-			res.append(t, s.volts())
+			res.appendSample(t, s.vPrev)
 			if dvmax < opts.DVTarget/4 {
 				h = math.Min(h*1.5, opts.MaxStep)
 			}
@@ -314,298 +353,21 @@ func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (
 	return res, nil
 }
 
-// solver holds per-run mutable state.
-type solver struct {
-	c    *Circuit
-	nu   int
-	opts Options
-
-	vPrev []float64 // committed node voltages (all nodes)
-	vCur  []float64 // trial node voltages (all nodes)
-	jac   [][]float64
-	rhs   []float64
-	dx    []float64
-	perm  []int
-
-	iters int64 // Newton iterations performed (incl. settle), for metrics
-}
-
-func (s *solver) init() {
-	n := len(s.c.nodes)
-	s.vPrev = make([]float64, n)
-	s.vCur = make([]float64, n)
-	s.jac = make([][]float64, s.nu)
-	for i := range s.jac {
-		s.jac[i] = make([]float64, s.nu)
-	}
-	s.rhs = make([]float64, s.nu)
-	s.dx = make([]float64, s.nu)
-	s.perm = make([]int, s.nu)
-	for i, nd := range s.c.nodes {
-		switch nd.kind {
-		case kindGround:
-			s.vPrev[i] = 0
-		case kindSupply:
-			s.vPrev[i] = s.c.vdd
-		case kindDriven:
-			s.vPrev[i] = nd.wave.At(0)
-		default:
-			if s.opts.InitV != nil {
-				if v, ok := s.opts.InitV(nd.name); ok {
-					s.vPrev[i] = v
-				}
-			}
-		}
-	}
-	copy(s.vCur, s.vPrev)
-}
-
-// settle relaxes the circuit at t=0 by taking a sequence of large backward
-// Euler steps with frozen inputs until the state stops changing.
-func (s *solver) settle() error {
-	const settleStep = 50 * units.Ps
-	for iter := 0; iter < 400; iter++ {
-		ok, dv := s.step(0, settleStep)
-		if !ok {
-			// Retry with a smaller pseudo-step; latches starting from
-			// all-zero may need gentler relaxation.
-			if ok2, _ := s.step(0, settleStep/100); !ok2 {
-				return fmt.Errorf("%w during DC settle", ErrNoConvergence)
-			}
-		}
-		s.accept()
-		if ok && dv < 1e-7 {
-			return nil
-		}
-	}
-	return fmt.Errorf("%w: DC settle did not stabilize", ErrNoConvergence)
-}
-
-func (s *solver) volts() []float64 {
-	v := make([]float64, len(s.vPrev))
-	copy(v, s.vPrev)
-	return v
-}
-
-func (s *solver) accept() { copy(s.vPrev, s.vCur) }
-func (s *solver) reject() { copy(s.vCur, s.vPrev) }
-
-// step attempts one backward-Euler step to absolute time t with step h.
-// It returns whether Newton converged and the largest node-voltage change
-// relative to the previous committed state.
-func (s *solver) step(t, h float64) (bool, float64) {
-	c := s.c
-	// Fixed (non-free) node voltages at the new time.
-	for i, nd := range c.nodes {
-		switch nd.kind {
-		case kindGround:
-			s.vCur[i] = 0
-		case kindSupply:
-			s.vCur[i] = c.vdd
-		case kindDriven:
-			s.vCur[i] = nd.wave.At(t)
-		default:
-			s.vCur[i] = s.vPrev[i] // initial guess: previous value
-		}
-	}
-	const maxIter = 40
-	for iter := 0; iter < maxIter; iter++ {
-		s.iters++
-		s.assemble(h)
-		if !s.luSolve() {
-			return false, 0
-		}
-		var dmax float64
-		for i, nd := range c.nodes {
-			if nd.idx < 0 {
-				continue
-			}
-			d := s.dx[nd.idx]
-			// Voltage limiting stabilizes Newton on stiff MOS curves.
-			d = units.Clamp(d, -s.opts.NewtonClamp, s.opts.NewtonClamp)
-			s.vCur[i] += d
-			if a := math.Abs(d); a > dmax {
-				dmax = a
-			}
-		}
-		if dmax < 1e-7 {
-			var dv float64
-			for i := range s.vCur {
-				if a := math.Abs(s.vCur[i] - s.vPrev[i]); a > dv {
-					dv = a
-				}
-			}
-			return true, dv
-		}
-	}
-	return false, 0
-}
-
-// assemble builds the Newton system J*dx = -F at the current trial point.
-// F_i is the sum of currents leaving free node i. The Jacobian for MOS
-// devices is computed by finite differences; caps and resistors are
-// stamped analytically.
-func (s *solver) assemble(h float64) {
-	for i := range s.rhs {
-		s.rhs[i] = 0
-		row := s.jac[i]
-		for j := range row {
-			row[j] = 0
-		}
-	}
-	nodes := s.c.nodes
-	idx := func(n NodeID) int { return nodes[n].idx }
-
-	// gmin to ground keeps isolated nodes well-conditioned.
-	const gmin = 1e-12
-	for i, nd := range nodes {
-		if nd.idx >= 0 {
-			s.rhs[nd.idx] -= gmin * s.vCur[i]
-			s.jac[nd.idx][nd.idx] += gmin
-		}
-	}
-
-	for _, r := range s.c.res {
-		va, vb := s.vCur[r.a], s.vCur[r.b]
-		i := r.g * (va - vb)
-		ia, ib := idx(r.a), idx(r.b)
-		if ia >= 0 {
-			s.rhs[ia] -= i
-			s.jac[ia][ia] += r.g
-			if ib >= 0 {
-				s.jac[ia][ib] -= r.g
-			}
-		}
-		if ib >= 0 {
-			s.rhs[ib] += i
-			s.jac[ib][ib] += r.g
-			if ia >= 0 {
-				s.jac[ib][ia] -= r.g
-			}
-		}
-	}
-
-	for _, cp := range s.c.caps {
-		geq := cp.c / h
-		dv := (s.vCur[cp.a] - s.vCur[cp.b]) - (s.vPrev[cp.a] - s.vPrev[cp.b])
-		i := geq * dv
-		ia, ib := idx(cp.a), idx(cp.b)
-		if ia >= 0 {
-			s.rhs[ia] -= i
-			s.jac[ia][ia] += geq
-			if ib >= 0 {
-				s.jac[ia][ib] -= geq
-			}
-		}
-		if ib >= 0 {
-			s.rhs[ib] += i
-			s.jac[ib][ib] += geq
-			if ia >= 0 {
-				s.jac[ib][ia] -= geq
-			}
-		}
-	}
-
-	const fd = 1e-5 // finite-difference perturbation [V]
-	for _, m := range s.c.mos {
-		vd, vg, vs := s.vCur[m.d], s.vCur[m.g], s.vCur[m.s]
-		ids := m.p.Ids(vd, vg, vs)
-		id, ig, is := idx(m.d), idx(m.g), idx(m.s)
-		if id >= 0 {
-			s.rhs[id] -= ids
-		}
-		if is >= 0 {
-			s.rhs[is] += ids
-		}
-		// Conductances w.r.t. each touched free terminal voltage.
-		stamp := func(col int, dIds float64) {
-			if col < 0 {
-				return
-			}
-			if id >= 0 {
-				s.jac[id][col] += dIds
-			}
-			if is >= 0 {
-				s.jac[is][col] -= dIds
-			}
-		}
-		if id >= 0 || is >= 0 {
-			if id >= 0 {
-				stamp(id, (m.p.Ids(vd+fd, vg, vs)-ids)/fd)
-			}
-			if ig >= 0 {
-				stamp(ig, (m.p.Ids(vd, vg+fd, vs)-ids)/fd)
-			}
-			if is >= 0 {
-				stamp(is, (m.p.Ids(vd, vg, vs+fd)-ids)/fd)
-			}
-		}
-	}
-}
-
-// luSolve factorizes the assembled Jacobian in place (partial pivoting)
-// and solves for the Newton update dx. Returns false on singularity.
-func (s *solver) luSolve() bool {
-	n := s.nu
-	a := s.jac
-	b := s.rhs
-	p := s.perm
-	for i := range p {
-		p[i] = i
-	}
-	for k := 0; k < n; k++ {
-		// Pivot.
-		piv, pmax := k, math.Abs(a[k][k])
-		for i := k + 1; i < n; i++ {
-			if v := math.Abs(a[i][k]); v > pmax {
-				piv, pmax = i, v
-			}
-		}
-		if pmax < 1e-30 {
-			return false
-		}
-		if piv != k {
-			a[piv], a[k] = a[k], a[piv]
-			b[piv], b[k] = b[k], b[piv]
-		}
-		inv := 1 / a[k][k]
-		for i := k + 1; i < n; i++ {
-			f := a[i][k] * inv
-			if f == 0 {
-				continue
-			}
-			a[i][k] = 0
-			row, rk := a[i], a[k]
-			for j := k + 1; j < n; j++ {
-				row[j] -= f * rk[j]
-			}
-			b[i] -= f * b[k]
-		}
-	}
-	for i := n - 1; i >= 0; i-- {
-		x := b[i]
-		row := a[i]
-		for j := i + 1; j < n; j++ {
-			x -= row[j] * s.dx[j]
-		}
-		s.dx[i] = x / row[i]
-	}
-	return true
-}
-
-func (r *Result) append(t float64, v []float64) {
+// appendSample records one accepted time sample by copying v (the
+// committed node voltages) onto the end of the flat arena.
+func (r *Result) appendSample(t float64, v []float64) {
 	r.T = append(r.T, t)
-	r.V = append(r.V, v)
+	r.v = append(r.v, v...)
 }
 
 // At returns the voltage of node n at time t by linear interpolation.
 func (r *Result) At(n NodeID, t float64) float64 {
 	ts := r.T
 	if t <= ts[0] {
-		return r.V[0][n]
+		return r.Voltage(0, n)
 	}
 	if t >= ts[len(ts)-1] {
-		return r.V[len(ts)-1][n]
+		return r.Voltage(len(ts)-1, n)
 	}
 	// Binary search for the bracketing interval.
 	lo, hi := 0, len(ts)-1
@@ -618,21 +380,26 @@ func (r *Result) At(n NodeID, t float64) float64 {
 		}
 	}
 	f := (t - ts[lo]) / (ts[hi] - ts[lo])
-	return units.Lerp(r.V[lo][n], r.V[hi][n], f)
+	return units.Lerp(r.Voltage(lo, n), r.Voltage(hi, n), f)
 }
 
 // Final returns the last sampled voltage of node n.
-func (r *Result) Final(n NodeID) float64 { return r.V[len(r.T)-1][n] }
+func (r *Result) Final(n NodeID) float64 { return r.Voltage(len(r.T)-1, n) }
 
 // Cross returns the first time after 'after' at which node n crosses
 // voltage v in the given direction (rising: from below to at-or-above).
-// ok is false if no crossing is found.
+// ok is false if no crossing is found. The scan starts at the first
+// sample at or after 'after' (binary search, not a walk from t=0), so
+// measuring a late transition does not pay for the whole trace; Slew
+// calls Cross twice per measurement.
 func (r *Result) Cross(n NodeID, v float64, rising bool, after float64) (t float64, ok bool) {
-	for i := 1; i < len(r.T); i++ {
-		if r.T[i] < after {
-			continue
-		}
-		a, b := r.V[i-1][n], r.V[i][n]
+	// First candidate pair (i-1, i) has T[i] >= after.
+	i := sort.SearchFloat64s(r.T, after)
+	if i < 1 {
+		i = 1
+	}
+	for ; i < len(r.T); i++ {
+		a, b := r.Voltage(i-1, n), r.Voltage(i, n)
 		if rising && a < v && b >= v || !rising && a > v && b <= v {
 			f := (v - a) / (b - a)
 			return units.Lerp(r.T[i-1], r.T[i], f), true

@@ -162,10 +162,7 @@ func TestTransmissionGatePassesBothRails(t *testing.T) {
 }
 
 func TestCrossLinearInterpolation(t *testing.T) {
-	r := &Result{
-		T: []float64{0, 1, 2},
-		V: [][]float64{{0}, {1}, {0}},
-	}
+	r := &Result{T: []float64{0, 1, 2}, nn: 1, v: []float64{0, 1, 0}}
 	tc, ok := r.Cross(0, 0.5, true, 0)
 	if !ok || math.Abs(tc-0.5) > 1e-12 {
 		t.Errorf("rising cross = %v, %v", tc, ok)
@@ -215,7 +212,7 @@ func TestWaveforms(t *testing.T) {
 }
 
 func TestResultAt(t *testing.T) {
-	r := &Result{T: []float64{0, 2}, V: [][]float64{{0}, {2}}}
+	r := &Result{T: []float64{0, 2}, nn: 1, v: []float64{0, 2}}
 	if got := r.At(0, 1); math.Abs(got-1) > 1e-12 {
 		t.Errorf("At = %v", got)
 	}

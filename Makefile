@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify fmt faults bench
+.PHONY: all build test race verify fmt faults bench serve-smoke
 
 all: build
 
@@ -37,18 +37,30 @@ verify:
 	$(GO) test -race ./...
 	BENCH_PR4_OUT=$$(mktemp) BENCH_PR4_ITERS=1 $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1
 	BENCH_PR6_OUT=$$(mktemp) BENCH_PR6_ITERS=1 $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1
+	$(MAKE) serve-smoke
+
+# serve-smoke boots a real ageguardd (quick characterization grid,
+# repo disk cache so repeated local runs stay warm), issues one query
+# per endpoint over HTTP, and fails unless every query succeeds and the
+# drain is clean. Runs as part of verify and in CI.
+serve-smoke:
+	$(GO) run ./cmd/ageguardd -quick -smoke
 
 # bench reproduces the checked-in benchmark reports:
 #   BENCH_PR4.json — incremental-STA inner loop vs full re-analysis, and
 #                    the 121-library grid fan-out vs serial analysis;
 #   BENCH_PR6.json — analytic-Jacobian transient kernel per-arc time and
 #                    allocation counts vs the pre-PR6 finite-difference
-#                    solver (plus a small CharacterizeContext wall clock).
+#                    solver (plus a small Characterize wall clock);
+#   BENCH_PR7.json — ageguardd cold-vs-warm guardband query latency over
+#                    real HTTP (see EXPERIMENTS.md, "BENCH_PR7").
 # The checked-in files are the reference results; regenerate after
 # touching the engines and commit the update if the speedups moved.
 bench:
 	BENCH_PR4_OUT=$(CURDIR)/BENCH_PR4.json $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1 -v
 	BENCH_PR6_OUT=$(CURDIR)/BENCH_PR6.json $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1 -v
+	$(GO) run ./cmd/ageguardd -quick -cache $$(mktemp -d) -loadgen \
+		-loadgen-requests 200 -loadgen-conc 4 -bench-out $(CURDIR)/BENCH_PR7.json
 	$(GO) test ./internal/char/ -run XXX -bench 'BenchmarkArcTransient|BenchmarkCharacterizeINVX1' -benchtime 1s
 
 # faults runs the fault-injection and recovery suite — solver retry

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -25,11 +26,11 @@ var ablOnce sync.Once
 // library, showing where the aging-awareness enters.
 func BenchmarkAblation_FlowStages(b *testing.B) {
 	ablOnce.Do(func() {
-		fresh, err := flow.FreshLibrary()
+		fresh, err := flow.FreshLibrary(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		aged, err := flow.WorstLibrary()
+		aged, err := flow.WorstLibrary(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func BenchmarkAblation_FlowStages(b *testing.B) {
 			}
 			nl = synth.WrapSequential(nl)
 			add := func(n *netlist.Netlist) *netlist.Netlist {
-				res, err := sta.Analyze(n, lib, sta.Config{})
+				res, err := sta.Analyze(context.Background(), n, lib, sta.Config{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -54,17 +55,17 @@ func BenchmarkAblation_FlowStages(b *testing.B) {
 			}
 			nl = add(nl)
 			nl = add(synth.FixDesignRules(nl, lib))
-			nl, err = synth.SizeGates(nl, lib, cfg)
+			nl, err = synth.SizeGates(context.Background(), nl, lib, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			nl = add(nl)
-			nl, err = synth.BufferCriticalNets(nl, lib, cfg)
+			nl, err = synth.BufferCriticalNets(context.Background(), nl, lib, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			nl = add(nl)
-			nl, err = synth.RecoverArea(nl, lib, cfg)
+			nl, err = synth.RecoverArea(context.Background(), nl, lib, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -79,10 +80,10 @@ func BenchmarkAblation_FlowStages(b *testing.B) {
 		}
 	})
 	nl := kernelNetlist.get(b, loadKernelNetlist)
-	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary(context.Background()) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+		if _, err := sta.Analyze(context.Background(), nl, lib, sta.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +96,7 @@ var ablSeedsOnce sync.Once
 // library-agnostic unit-delay modes) after full optimization.
 func BenchmarkAblation_MapperSeeds(b *testing.B) {
 	ablSeedsOnce.Do(func() {
-		fresh, err := flow.FreshLibrary()
+		fresh, err := flow.FreshLibrary(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,11 +122,11 @@ func BenchmarkAblation_MapperSeeds(b *testing.B) {
 			}
 			nl = synth.WrapSequential(nl)
 			nl = synth.FixDesignRules(nl, fresh)
-			nl, err = synth.SizeGates(nl, fresh, s.cfg)
+			nl, err = synth.SizeGates(context.Background(), nl, fresh, s.cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := sta.Analyze(nl, fresh, sta.Config{})
+			res, err := sta.Analyze(context.Background(), nl, fresh, sta.Config{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -141,7 +142,7 @@ func BenchmarkAblation_MapperSeeds(b *testing.B) {
 // BenchmarkAblation_MapDCT measures raw technology-mapping throughput on
 // the largest benchmark (DCT, ~45k AIG nodes).
 func BenchmarkAblation_MapDCT(b *testing.B) {
-	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary(context.Background()) })
 	a := rtl.GenDCT()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -163,7 +164,7 @@ func BenchmarkAblation_IterativeTightening(b *testing.B) {
 		fmt.Printf("%-10s %10s %12s %12s %8s %8s\n",
 			"circuit", "reqGB", "[14] GB", "aware GB", "[14]%", "aware%")
 		for _, c := range []string{"RISC-5P", "VLIW"} {
-			row, err := flow.IterativeTightening(c)
+			row, err := flow.IterativeTightening(context.Background(), c)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -173,10 +174,10 @@ func BenchmarkAblation_IterativeTightening(b *testing.B) {
 		}
 	})
 	nl := kernelNetlist.get(b, loadKernelNetlist)
-	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary(context.Background()) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+		if _, err := sta.Analyze(context.Background(), nl, lib, sta.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}

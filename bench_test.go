@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -50,7 +51,7 @@ var fig1NAND, fig1NOR onceResult[*core.Surface]
 
 func BenchmarkFig1_NANDSurface(b *testing.B) {
 	s := fig1NAND.get(b, func() (*core.Surface, error) {
-		s, err := flow.AgingSurface("NAND2_X1", liberty.Rise)
+		s, err := flow.AgingSurface(context.Background(), "NAND2_X1", liberty.Rise)
 		if err == nil {
 			fmt.Println("\n=== Fig 1(a) ===")
 			fmt.Print(s.Format())
@@ -66,7 +67,7 @@ func BenchmarkFig1_NANDSurface(b *testing.B) {
 
 func BenchmarkFig1_NORSurface(b *testing.B) {
 	s := fig1NOR.get(b, func() (*core.Surface, error) {
-		s, err := flow.AgingSurface("NOR2_X1", liberty.Fall)
+		s, err := flow.AgingSurface(context.Background(), "NOR2_X1", liberty.Fall)
 		if err == nil {
 			fmt.Println("\n=== Fig 1(b) ===")
 			fmt.Print(s.Format())
@@ -86,7 +87,7 @@ var fig2 onceResult[*core.Distribution]
 
 func BenchmarkFig2_Histograms(b *testing.B) {
 	d := fig2.get(b, func() (*core.Distribution, error) {
-		d, err := flow.DelayChangeDistribution()
+		d, err := flow.DelayChangeDistribution(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +125,7 @@ var fig3 onceResult[*core.Fig3Report]
 
 func BenchmarkFig3_PathSwitch(b *testing.B) {
 	r := fig3.get(b, func() (*core.Fig3Report, error) {
-		r, err := flow.Fig3PathSwitch()
+		r, err := flow.Fig3PathSwitch(context.Background())
 		if err == nil {
 			fmt.Println("\n=== Fig 3 ===")
 			fmt.Print(r.Format())
@@ -143,9 +144,9 @@ func BenchmarkFig3_PathSwitch(b *testing.B) {
 var fig5a, fig5b, fig5c onceResult[*core.Fig5Report]
 
 func benchFig5(b *testing.B, o *onceResult[*core.Fig5Report], tag string,
-	run func([]string) (*core.Fig5Report, error)) {
+	run func(context.Context, []string) (*core.Fig5Report, error)) {
 	r := o.get(b, func() (*core.Fig5Report, error) {
-		r, err := run(core.BenchmarkCircuits())
+		r, err := run(context.Background(), core.BenchmarkCircuits())
 		if err == nil {
 			fmt.Printf("\n=== Fig 5(%s) ===\n", tag)
 			fmt.Print(r.Format())
@@ -153,12 +154,12 @@ func benchFig5(b *testing.B, o *onceResult[*core.Fig5Report], tag string,
 		return r, err
 	})
 	nl := kernelNetlist.get(b, loadKernelNetlist)
-	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary(context.Background()) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Kernel: one full STA of a benchmark netlist (the dominant
 		// per-experiment operation).
-		if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+		if _, err := sta.Analyze(context.Background(), nl, lib, sta.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -171,7 +172,7 @@ var (
 )
 
 func loadKernelNetlist() (*netlist.Netlist, error) {
-	return flow.SynthesizeTraditional("RISC-5P")
+	return flow.SynthesizeTraditional(context.Background(), "RISC-5P")
 }
 
 func BenchmarkFig5a_MuNeglect(b *testing.B) { benchFig5(b, &fig5a, "a", flow.Fig5a) }
@@ -185,7 +186,7 @@ var fig6ab onceResult[*core.ContainmentReport]
 
 func BenchmarkFig6a_Containment(b *testing.B) {
 	r := fig6ab.get(b, func() (*core.ContainmentReport, error) {
-		r, err := flow.ContainmentAll(core.BenchmarkCircuits())
+		r, err := flow.ContainmentAll(context.Background(), core.BenchmarkCircuits())
 		if err == nil {
 			fmt.Println("\n=== Fig 6(a)+(b) ===")
 			fmt.Print(r.Format())
@@ -193,10 +194,10 @@ func BenchmarkFig6a_Containment(b *testing.B) {
 		return r, err
 	})
 	nl := kernelNetlist.get(b, loadKernelNetlist)
-	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary(context.Background()) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+		if _, err := sta.Analyze(context.Background(), nl, lib, sta.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -205,7 +206,7 @@ func BenchmarkFig6a_Containment(b *testing.B) {
 
 func BenchmarkFig6b_Area(b *testing.B) {
 	r := fig6ab.get(b, func() (*core.ContainmentReport, error) {
-		r, err := flow.ContainmentAll(core.BenchmarkCircuits())
+		r, err := flow.ContainmentAll(context.Background(), core.BenchmarkCircuits())
 		if err == nil {
 			fmt.Println("\n=== Fig 6(a)+(b) ===")
 			fmt.Print(r.Format())
@@ -235,7 +236,7 @@ var fig6c onceResult[[]core.ImageOutcome]
 
 func runImageStudy() ([]core.ImageOutcome, error) {
 	img := image.TestImage(benchImageSize, benchImageSize)
-	out, err := flow.ImageStudy(img, core.StandardImageCases())
+	out, err := flow.ImageStudy(context.Background(), img, core.StandardImageCases())
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +291,7 @@ func BenchmarkCharacterizeCell(b *testing.B) {
 	cfg.Cells = []string{"NAND2_X1"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cfg.Characterize(aging.WorstCase(10)); err != nil {
+		if _, err := cfg.Characterize(context.Background(), aging.WorstCase(10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -312,7 +313,7 @@ func benchCharacterizeLibrary(b *testing.B, parallelism int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cfg.Characterize(aging.WorstCase(10)); err != nil {
+		if _, err := cfg.Characterize(context.Background(), aging.WorstCase(10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -334,7 +335,7 @@ func benchGenerateGrid(b *testing.B, parallelism int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		if err := cfg.GenerateGrid(10, func(*liberty.Library) { n++ }); err != nil {
+		if err := cfg.GenerateGrid(context.Background(), 10, func(*liberty.Library) { n++ }); err != nil {
 			b.Fatal(err)
 		}
 		if n != 121 {
@@ -350,12 +351,12 @@ var dctNetlist onceResult[*netlist.Netlist]
 
 func BenchmarkSTALargeNetlist(b *testing.B) {
 	nl := dctNetlist.get(b, func() (*netlist.Netlist, error) {
-		return flow.SynthesizeTraditional("DCT")
+		return flow.SynthesizeTraditional(context.Background(), "DCT")
 	})
-	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary() })
+	lib := kernelLib.get(b, func() (*liberty.Library, error) { return flow.FreshLibrary(context.Background()) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sta.Analyze(nl, lib, sta.Config{})
+		res, err := sta.Analyze(context.Background(), nl, lib, sta.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}

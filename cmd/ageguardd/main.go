@@ -1,0 +1,123 @@
+// Command ageguardd serves guardband and timing queries over HTTP/JSON
+// against pre-characterized degradation-aware libraries (wire types in
+// pkg/ageguard/api, typed client in pkg/ageguard/client).
+//
+// Usage:
+//
+//	ageguardd                                # serve on :8347
+//	ageguardd -addr :9000 -cache-size 256
+//	ageguardd -quick                         # reduced 3x3 grid, smoke/dev
+//	ageguardd -quick -smoke                  # one query per endpoint, then drain
+//	ageguardd -loadgen -bench-out BENCH_PR7.json
+//
+// Endpoints: POST /v1/guardband, /v1/celltiming, /v1/grid, /v1/paths;
+// GET /healthz, /metrics (text), /metrics.json, /debug/pprof.
+//
+// Queries answer from a bounded in-memory LRU of parsed libraries,
+// synthesized netlists and compiled STA engines; concurrent identical
+// cold queries characterize once (singleflight). Past the admission
+// queue the daemon sheds load with 429 + Retry-After. Every request
+// runs under -req-timeout, which propagates into the transient solver's
+// per-time-step cancellation checks; expiry reports 504 and leaves no
+// partial cache files. SIGTERM drains gracefully: the listener closes,
+// in-flight requests finish, then the process exits.
+//
+// -loadgen benchmarks the daemon against itself on a loopback listener:
+// one cold guardband query (the work of a cold CLI invocation) versus
+// the warm-cache latency distribution, written to -bench-out. -smoke
+// boots the daemon the same way, issues one query per endpoint and
+// asserts success plus a clean drain (the make serve-smoke / CI gate).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ageguard/internal/char"
+	"ageguard/internal/cli"
+	"ageguard/internal/core"
+	"ageguard/internal/obs"
+	"ageguard/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8347", "listen address")
+		cacheSize   = flag.Int("cache-size", 128, "in-memory LRU entry bound")
+		maxInflight = flag.Int("max-inflight", 4, "requests doing work concurrently")
+		queueDepth  = flag.Int("queue", 16, "admission queue depth beyond -max-inflight")
+		reqTimeout  = flag.Duration("req-timeout", 5*time.Minute, "per-request deadline")
+		drain       = flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown bound on SIGTERM")
+		years       = flag.Float64("years", 10, "default projected lifetime in years")
+		cacheDir    = flag.String("cache", char.RepoCacheDir(), "characterization cache directory ('' disables)")
+		quick       = flag.Bool("quick", false, "reduced 3x3 characterization grid (smoke tests, development)")
+
+		smoke     = flag.Bool("smoke", false, "query every endpoint once in-process, then exit")
+		loadgen   = flag.Bool("loadgen", false, "benchmark the daemon in-process instead of serving")
+		lgReqs    = flag.Int("loadgen-requests", 200, "loadgen warm-phase request count")
+		lgConc    = flag.Int("loadgen-conc", 4, "loadgen concurrent clients")
+		lgCircuit = flag.String("loadgen-circuit", "RISC-5P", "loadgen benchmark circuit")
+		benchOut  = flag.String("bench-out", "BENCH_PR7.json", "loadgen report path")
+	)
+	c := cli.Register("ageguardd", flag.CommandLine)
+	flag.Parse()
+
+	c.Main(context.Background(), func(ctx context.Context) error {
+		charCfg := char.CachedConfig()
+		if *quick {
+			charCfg = char.TestConfig()
+		}
+		charCfg.CacheDir = *cacheDir
+		flow := core.New(
+			core.WithCharConfig(charCfg),
+			core.WithLifetime(*years),
+			core.WithRetries(c.Retries),
+			core.WithStrict(c.Strict),
+		)
+		cfg := serve.Config{
+			Flow:           flow,
+			CacheSize:      *cacheSize,
+			MaxInflight:    *maxInflight,
+			QueueDepth:     *queueDepth,
+			RequestTimeout: *reqTimeout,
+			DrainTimeout:   *drain,
+		}
+
+		if *smoke {
+			if err := serve.Smoke(ctx, cfg, serve.SmokeConfig{Circuit: *lgCircuit}, log.Default()); err != nil {
+				return err
+			}
+			fmt.Println("serve smoke OK")
+			return nil
+		}
+		if *loadgen {
+			rep, err := serve.Loadgen(ctx, cfg, serve.LoadgenConfig{
+				Requests:    *lgReqs,
+				Concurrency: *lgConc,
+				Circuit:     *lgCircuit,
+				Out:         *benchOut,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cold first query   %8.3f s\n", rep.ColdFirstQueryS)
+			fmt.Printf("warm p50 / p99     %8.5f / %.5f s\n", rep.WarmP50s, rep.WarmP99s)
+			fmt.Printf("warm QPS           %8.1f\n", rep.WarmQPS)
+			fmt.Printf("speedup p99 v cold %8.1fx\n", rep.SpeedupP99VsCold)
+			fmt.Printf("cache hit rate     %8.1f%%  (%d hits, %d misses, %d shared)\n",
+				100*rep.CacheHitRate, rep.CacheHits, rep.CacheMisses, rep.CacheShared)
+			if *benchOut != "" {
+				fmt.Printf("wrote %s\n", *benchOut)
+			}
+			return nil
+		}
+
+		srv := serve.New(cfg, obs.From(ctx))
+		log.Printf("serving on %s (api %s, cache %d entries, %d inflight + %d queued)",
+			*addr, "v1", *cacheSize, *maxInflight, *queueDepth)
+		return srv.Run(ctx, *addr)
+	})
+}

@@ -11,12 +11,10 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"log"
 
-	"ageguard/internal/conc"
+	"ageguard/internal/cli"
 	"ageguard/internal/core"
 	"ageguard/internal/obs"
 	"ageguard/internal/sta"
@@ -24,31 +22,19 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("agesynth: ")
 	var (
 		circuit = flag.String("circuit", "FFT", "benchmark circuit name")
 		all     = flag.Bool("all", false, "run every benchmark circuit")
 		years   = flag.Float64("years", 10, "projected lifetime in years")
-		retries = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
-		strict  = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 		outload = flag.Float64("outload", 0, "primary-output load in fF (0 = flow default)")
 		wirecap = flag.Float64("wirecap", 0, "per-net wire capacitance in fF (0 = flow default)")
 	)
-	o := obs.RegisterFlags(flag.CommandLine)
+	c := cli.Register("agesynth", flag.CommandLine)
 	flag.Parse()
 
-	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *all, *years, *retries, *strict, *outload, *wirecap)
-	finish()
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		log.Fatal("deadline exceeded (-timeout)")
-	case errors.Is(err, conc.ErrCanceled):
-		log.Fatal("interrupted")
-	case err != nil:
-		log.Fatal(err)
-	}
+	c.Main(context.Background(), func(ctx context.Context) error {
+		return run(ctx, *circuit, *all, *years, c.Retries, c.Strict, *outload, *wirecap)
+	})
 }
 
 func run(ctx context.Context, circuit string, all bool, years float64, retries int, strict bool, outloadFF, wirecapFF float64) error {
@@ -66,7 +52,7 @@ func run(ctx context.Context, circuit string, all bool, years float64, retries i
 	if all {
 		circuits = core.BenchmarkCircuits()
 	}
-	rep, err := f.ContainmentAllContext(ctx, circuits)
+	rep, err := f.ContainmentAll(ctx, circuits)
 	if err != nil {
 		return err
 	}

@@ -14,14 +14,12 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 
 	"ageguard/internal/aging"
-	"ageguard/internal/conc"
+	"ageguard/internal/cli"
 	"ageguard/internal/core"
 	"ageguard/internal/obs"
 	"ageguard/internal/sta"
@@ -29,8 +27,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("guardband: ")
 	var (
 		circuit  = flag.String("circuit", "DSP", "benchmark circuit name")
 		all      = flag.Bool("all", false, "run every benchmark circuit")
@@ -38,25 +34,16 @@ func main() {
 		years    = flag.Float64("years", 10, "projected lifetime in years")
 		steps    = flag.Int("steps", 32, "workload steps (x64 vectors) for dynamic stress")
 		seed     = flag.Int64("seed", 1, "workload seed for dynamic stress")
-		retries  = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
-		strict   = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 		outload  = flag.Float64("outload", 0, "primary-output load in fF (0 = flow default)")
 		wirecap  = flag.Float64("wirecap", 0, "per-net wire capacitance in fF (0 = flow default)")
 	)
-	o := obs.RegisterFlags(flag.CommandLine)
+	c := cli.Register("guardband", flag.CommandLine)
 	flag.Parse()
 
-	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *all, *scenario, *years, *steps, *seed, *retries, *strict, staOptions(*outload, *wirecap))
-	finish()
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		log.Fatal("deadline exceeded (-timeout)")
-	case errors.Is(err, conc.ErrCanceled):
-		log.Fatal("interrupted")
-	case err != nil:
-		log.Fatal(err)
-	}
+	c.Main(context.Background(), func(ctx context.Context) error {
+		return run(ctx, *circuit, *all, *scenario, *years, *steps, *seed,
+			c.Retries, c.Strict, staOptions(*outload, *wirecap))
+	})
 }
 
 // staOptions converts the -outload/-wirecap flags (fF, 0 = keep the flow
@@ -85,7 +72,7 @@ func run(ctx context.Context, circuit string, all bool, scenario string, years f
 	}
 	if scenario == "grid" {
 		for _, c := range circuits {
-			g, err := f.GuardbandGridContext(ctx, c)
+			g, err := f.GuardbandGridFor(ctx, c)
 			if err != nil {
 				return fmt.Errorf("%s: %w", c, err)
 			}
@@ -106,15 +93,15 @@ func run(ctx context.Context, circuit string, all bool, scenario string, years f
 }
 
 func estimate(ctx context.Context, f core.Flow, circuit, scenario string, years float64, steps int, seed int64) (core.Guardband, error) {
-	nl, err := f.SynthesizeTraditionalContext(ctx, circuit)
+	nl, err := f.SynthesizeTraditional(ctx, circuit)
 	if err != nil {
 		return core.Guardband{}, err
 	}
 	switch scenario {
 	case "worst":
-		return f.StaticGuardbandContext(ctx, circuit, nl, aging.WorstCase(years))
+		return f.StaticGuardband(ctx, circuit, nl, aging.WorstCase(years))
 	case "balance":
-		return f.StaticGuardbandContext(ctx, circuit, nl, aging.BalanceCase(years))
+		return f.StaticGuardband(ctx, circuit, nl, aging.BalanceCase(years))
 	case "dynamic":
 		rng := rand.New(rand.NewSource(seed))
 		stim := func(int) map[string]uint64 {
@@ -124,7 +111,7 @@ func estimate(ctx context.Context, f core.Flow, circuit, scenario string, years 
 			}
 			return in
 		}
-		gb, _, err := f.DynamicGuardbandContext(ctx, circuit, nl, stim, steps)
+		gb, _, err := f.DynamicGuardband(ctx, circuit, nl, stim, steps)
 		return gb, err
 	default:
 		return core.Guardband{}, fmt.Errorf("unknown scenario %q", scenario)

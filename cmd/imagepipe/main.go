@@ -12,43 +12,29 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 
-	"ageguard/internal/conc"
+	"ageguard/internal/cli"
 	"ageguard/internal/core"
 	"ageguard/internal/image"
 	"ageguard/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("imagepipe: ")
 	var (
-		out     = flag.String("out", "out", "output directory for PGM images")
-		size    = flag.Int("size", 64, "synthetic test image size (multiple of 8)")
-		in      = flag.String("in", "", "input PGM image (overrides -size)")
-		retries = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
-		strict  = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
+		out  = flag.String("out", "out", "output directory for PGM images")
+		size = flag.Int("size", 64, "synthetic test image size (multiple of 8)")
+		in   = flag.String("in", "", "input PGM image (overrides -size)")
 	)
-	o := obs.RegisterFlags(flag.CommandLine)
+	c := cli.Register("imagepipe", flag.CommandLine)
 	flag.Parse()
 
-	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *out, *size, *in, *retries, *strict)
-	finish()
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		log.Fatal("deadline exceeded (-timeout)")
-	case errors.Is(err, conc.ErrCanceled):
-		log.Fatal("interrupted")
-	case err != nil:
-		log.Fatal(err)
-	}
+	c.Main(context.Background(), func(ctx context.Context) error {
+		return run(ctx, *out, *size, *in, c.Retries, c.Strict)
+	})
 }
 
 func run(ctx context.Context, out string, size int, in string, retries int, strict bool) error {
@@ -80,7 +66,7 @@ func run(ctx context.Context, out string, size int, in string, retries int, stri
 	cases := core.StandardImageCases()
 	fmt.Println("running DCT-IDCT gate-level simulations (this synthesizes and")
 	fmt.Println("characterizes on first run; results are cached under .libcache)")
-	results, err := f.ImageStudyContext(ctx, img, cases)
+	results, err := f.ImageStudy(ctx, img, cases)
 	if err != nil {
 		return err
 	}

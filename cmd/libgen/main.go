@@ -38,14 +38,12 @@ import (
 
 	"ageguard/internal/aging"
 	"ageguard/internal/char"
-	"ageguard/internal/conc"
+	"ageguard/internal/cli"
 	"ageguard/internal/liberty"
 	"ageguard/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("libgen: ")
 	var (
 		out    = flag.String("out", "libs", "output directory")
 		years  = flag.Float64("years", 10, "projected lifetime in years")
@@ -55,23 +53,13 @@ func main() {
 		cache  = flag.String("cache", char.RepoCacheDir(), "characterization cache directory ('' disables)")
 		par    = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 		cells  = flag.String("cells", "", "comma-separated cell subset (default: all cells)")
-		ret    = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
-		strict = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
-	o := obs.RegisterFlags(flag.CommandLine)
+	c := cli.Register("libgen", flag.CommandLine)
 	flag.Parse()
 
-	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *out, *years, *grid, *merged, *libFmt, *cache, *par, *cells, *ret, *strict)
-	finish()
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		log.Fatal("deadline exceeded (-timeout)")
-	case errors.Is(err, conc.ErrCanceled):
-		log.Fatal("interrupted")
-	case err != nil:
-		log.Fatal(err)
-	}
+	c.Main(context.Background(), func(ctx context.Context) error {
+		return run(ctx, *out, *years, *grid, *merged, *libFmt, *cache, *par, *cells, c.Retries, c.Strict)
+	})
 }
 
 func run(ctx context.Context, out string, years float64, grid, merged, libFmt bool, cache string, par int, cellList string, retries int, strict bool) error {
@@ -109,7 +97,7 @@ func run(ctx context.Context, out string, years float64, grid, merged, libFmt bo
 		cfg.Progress = func(done, total int) {
 			fmt.Printf("\r[%d/%d] %-24s cell %d/%d   ", i+1, len(scenarios), s, done, total)
 		}
-		lib, err := cfg.CharacterizeContext(ctx, s)
+		lib, err := cfg.Characterize(ctx, s)
 		if err != nil {
 			fmt.Println()
 			if errors.Is(err, char.ErrCanceled) {

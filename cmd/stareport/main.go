@@ -13,15 +13,13 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 
 	"ageguard/internal/aging"
-	"ageguard/internal/conc"
+	"ageguard/internal/cli"
 	"ageguard/internal/core"
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
@@ -31,8 +29,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("stareport: ")
 	var (
 		circuit  = flag.String("circuit", "FFT", "benchmark circuit")
 		scenario = flag.String("scenario", "worst", "aging scenario: fresh, worst, balance")
@@ -40,23 +36,13 @@ func main() {
 		sdfOut   = flag.String("sdf", "", "write SDF delay annotation to this file")
 		vOut     = flag.String("verilog", "", "write structural Verilog to this file")
 		libOut   = flag.String("lib", "", "write the scenario's Liberty library to this file")
-		retries  = flag.Int("retries", 0, "solver escalation-ladder depth per grid point (0 = default, negative = off)")
-		strict   = flag.Bool("strict", false, "fail on non-convergent grid points instead of salvaging by interpolation")
 	)
-	o := obs.RegisterFlags(flag.CommandLine)
+	c := cli.Register("stareport", flag.CommandLine)
 	flag.Parse()
 
-	ctx, _, finish := o.Setup(context.Background())
-	err := run(ctx, *circuit, *scenario, *years, *sdfOut, *vOut, *libOut, *retries, *strict)
-	finish()
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		log.Fatal("deadline exceeded (-timeout)")
-	case errors.Is(err, conc.ErrCanceled):
-		log.Fatal("interrupted")
-	case err != nil:
-		log.Fatal(err)
-	}
+	c.Main(context.Background(), func(ctx context.Context) error {
+		return run(ctx, *circuit, *scenario, *years, *sdfOut, *vOut, *libOut, c.Retries, c.Strict)
+	})
 }
 
 func run(ctx context.Context, circuit, scenario string, years float64, sdfOut, vOut, libOut string, retries int, strict bool) error {
@@ -74,15 +60,15 @@ func run(ctx context.Context, circuit, scenario string, years float64, sdfOut, v
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
-	lib, err := f.LibraryContext(ctx, s)
+	lib, err := f.Library(ctx, s)
 	if err != nil {
 		return err
 	}
-	nl, err := f.SynthesizeTraditionalContext(ctx, circuit)
+	nl, err := f.SynthesizeTraditional(ctx, circuit)
 	if err != nil {
 		return err
 	}
-	res, err := sta.AnalyzeContext(ctx, nl, lib, f.STA)
+	res, err := sta.Analyze(ctx, nl, lib, f.STA)
 	if err != nil {
 		return err
 	}

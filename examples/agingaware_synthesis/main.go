@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,9 +20,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	f := core.Default()
 	fmt.Println("synthesizing VLIW twice (fresh library vs worst-case aged library)...")
-	row, err := f.Containment("VLIW")
+	row, err := f.Containment(ctx, "VLIW")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,11 +48,11 @@ area: %.0f -> %.0f um^2 (%+.2f%%)
 
 	// Show how the cell mix shifted: the aging-aware run picks, per
 	// operating condition, the cells that age least.
-	trad, err := f.SynthesizeTraditional("VLIW")
+	trad, err := f.SynthesizeTraditional(ctx, "VLIW")
 	if err != nil {
 		log.Fatal(err)
 	}
-	aware, err := f.SynthesizeAgingAware("VLIW")
+	aware, err := f.SynthesizeAgingAware(ctx, "VLIW")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,20 +26,21 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	f := core.Default()
 	fmt.Println("synthesizing DSP with the initial (degradation-unaware) library...")
-	nl, err := f.SynthesizeTraditional("DSP")
+	nl, err := f.SynthesizeTraditional(ctx, "DSP")
 	if err != nil {
 		log.Fatal(err)
 	}
 	st, _ := core.Area(nl)
 	fmt.Printf("netlist: %d instances, %.0f um^2\n\n", len(nl.Insts), st)
 
-	worst, err := f.StaticGuardband("DSP", nl, aging.WorstCase(10))
+	worst, err := f.StaticGuardband(ctx, "DSP", nl, aging.WorstCase(10))
 	if err != nil {
 		log.Fatal(err)
 	}
-	balance, err := f.StaticGuardband("DSP", nl, aging.BalanceCase(10))
+	balance, err := f.StaticGuardband(ctx, "DSP", nl, aging.BalanceCase(10))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func main() {
 		}
 		return in
 	}
-	dyn, _, err := f.DynamicGuardband("DSP", nl, stim, 32)
+	dyn, _, err := f.DynamicGuardband(ctx, "DSP", nl, stim, 32)
 	if err != nil {
 		log.Fatal(err)
 	}

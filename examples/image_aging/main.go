@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	f := core.Default()
 	img := image.TestImage(48, 48)
 
@@ -33,7 +35,7 @@ func main() {
 	}
 	fmt.Println("running gate-level DCT-IDCT simulations (first run synthesizes")
 	fmt.Println("and characterizes; afterwards everything is cached)...")
-	results, err := f.ImageStudy(img, cases)
+	results, err := f.ImageStudy(ctx, img, cases)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,15 +22,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := char.DefaultConfig()
 	cfg.CacheDir = char.RepoCacheDir()
 	cfg.Cells = []string{"NAND2_X1"}
 
-	fresh, err := cfg.Characterize(aging.Fresh())
+	fresh, err := cfg.Characterize(ctx, aging.Fresh())
 	if err != nil {
 		log.Fatal(err)
 	}
-	aged, err := cfg.Characterize(aging.WorstCase(10))
+	aged, err := cfg.Characterize(ctx, aging.WorstCase(10))
 	if err != nil {
 		log.Fatal(err)
 	}

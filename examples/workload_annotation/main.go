@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -29,9 +30,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	f := core.Default()
 	fmt.Println("synthesizing FFT with the initial library...")
-	nl, err := f.SynthesizeTraditional("FFT")
+	nl, err := f.SynthesizeTraditional(ctx, "FFT")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +50,11 @@ func main() {
 		return in
 	}
 
-	gb, annotated, err := f.DynamicGuardband("FFT", nl, biased, 48)
+	gb, annotated, err := f.DynamicGuardband(ctx, "FFT", nl, biased, 48)
 	if err != nil {
 		log.Fatal(err)
 	}
-	worst, err := f.StaticGuardband("FFT", nl, aging.WorstCase(f.Lifetime))
+	worst, err := f.StaticGuardband(ctx, "FFT", nl, aging.WorstCase(f.Lifetime))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cells
 
 import (
+	"context"
 	"testing"
 
 	"ageguard/internal/device"
@@ -47,7 +48,7 @@ func TestTopologyImplementsFunction(t *testing.T) {
 			}
 			out := get(c.Output)
 			ckt.C(out, ckt.Gnd(), 1*units.FF)
-			res, err := ckt.Run(2*units.Ns, spice.Options{})
+			res, err := ckt.Run(context.Background(), 2*units.Ns, spice.Options{})
 			if err != nil {
 				t.Fatalf("%s bits=%b: %v", c.Name, bits, err)
 			}
@@ -90,7 +91,7 @@ func TestDFFCapturesOnRisingEdge(t *testing.T) {
 	})
 	out := get("Q")
 	ckt.C(out, ckt.Gnd(), 2*units.FF)
-	res, err := ckt.Run(4*period, spice.Options{})
+	res, err := ckt.Run(context.Background(), 4*period, spice.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

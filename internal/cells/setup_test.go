@@ -1,6 +1,7 @@
 package cells
 
 import (
+	"context"
 	"testing"
 
 	"ageguard/internal/device"
@@ -33,7 +34,7 @@ func TestMeasureDFFSetup(t *testing.T) {
 		ckt.Drive(get("CK"), spice.Ramp{T0: edge, Slew: 20 * units.Ps, V0: 0, V1: vdd})
 		out := get("Q")
 		ckt.C(out, ckt.Gnd(), 2*units.FF)
-		res, err := ckt.Run(edge+1.5*units.Ns, spice.Options{})
+		res, err := ckt.Run(context.Background(), edge+1.5*units.Ns, spice.Options{})
 		if err != nil {
 			return false
 		}

@@ -22,7 +22,7 @@ import (
 //     retry-ladder transient + delay/slew measurement) on a single-stage
 //     INV_X1 and a multi-stage XOR2_X1 arc, with allocation tracking
 //     (b.ReportAllocs), in both Jacobian modes;
-//  2. a small CharacterizeContext run (wall clock), the unit of work the
+//  2. a small Characterize run (wall clock), the unit of work the
 //     121-library grid repeats.
 //
 // TestBenchPR6Emit runs the same workloads and writes BENCH_PR6.json
@@ -90,7 +90,7 @@ func BenchmarkArcTransientXOR2X1FD(b *testing.B) {
 	benchArcRun(b, "XOR2_X1", true)
 }
 
-// BenchmarkCharacterizeINVX1 measures the small CharacterizeContext unit
+// BenchmarkCharacterizeINVX1 measures the small Characterize unit
 // (one cell, 3x3 grid, no cache) that scenario sweeps repeat 121 times.
 func BenchmarkCharacterizeINVX1(b *testing.B) {
 	cfg := TestConfig()
@@ -101,7 +101,7 @@ func BenchmarkCharacterizeINVX1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10)); err != nil {
+		if _, err := cfg.Characterize(ctx, aging.WorstCase(10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -185,7 +185,7 @@ func TestBenchPR6Emit(t *testing.T) {
 	ccfg.Parallelism = 1
 	ctx := context.Background()
 	rep.Now["characterize_inv_x1"] = measureBest(iters, func() {
-		if _, err := ccfg.CharacterizeContext(ctx, aging.WorstCase(10)); err != nil {
+		if _, err := ccfg.Characterize(ctx, aging.WorstCase(10)); err != nil {
 			t.Fatal(err)
 		}
 	})

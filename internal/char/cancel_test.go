@@ -37,7 +37,7 @@ func TestCancelMidGrid(t *testing.T) {
 			cancel() // first cell finished: interrupt the rest mid-grid
 		}
 	}
-	_, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10))
+	_, err := cfg.Characterize(ctx, aging.WorstCase(10))
 	if err == nil {
 		t.Fatal("canceled characterization returned nil error")
 	}
@@ -105,7 +105,7 @@ func TestGoroutineFloodBounded(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		_, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10))
+		_, err := cfg.Characterize(ctx, aging.WorstCase(10))
 		done <- err
 	}()
 	time.Sleep(2 * time.Second)
@@ -134,7 +134,7 @@ func TestCancelBeforeStart(t *testing.T) {
 	cfg.CacheDir = dir
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10)); !errors.Is(err, ErrCanceled) {
+	if _, err := cfg.Characterize(ctx, aging.WorstCase(10)); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("pre-canceled context: got %v, want ErrCanceled", err)
 	}
 	ents, err := os.ReadDir(dir)
@@ -175,7 +175,7 @@ func TestStaleGridNotReused(t *testing.T) {
 	cfg.Cells = []string{"INV_X1"}
 	cfg.CacheDir = dir
 	s := aging.WorstCase(10)
-	if _, err := cfg.Characterize(s); err != nil {
+	if _, err := cfg.Characterize(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	cfg2 := cfg
@@ -183,7 +183,7 @@ func TestStaleGridNotReused(t *testing.T) {
 	cfg2.Slews[0] *= 2
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	if _, err := cfg2.CharacterizeContext(ctx, s); err != nil {
+	if _, err := cfg2.Characterize(ctx, s); err != nil {
 		t.Fatal(err)
 	}
 	if hits := reg.Counter("char.cache.hits").Value(); hits != 0 {
@@ -206,7 +206,7 @@ func TestStaleGridNotReused(t *testing.T) {
 func TestErrNoCell(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Cells = []string{"NOPE_X9"}
-	_, err := cfg.Characterize(aging.Fresh())
+	_, err := cfg.Characterize(context.Background(), aging.Fresh())
 	if !errors.Is(err, ErrNoCell) {
 		t.Fatalf("got %v, want ErrNoCell", err)
 	}
@@ -231,7 +231,7 @@ func TestErrCacheCorrupt(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	lib, err := cfg.CharacterizeContext(ctx, s)
+	lib, err := cfg.Characterize(ctx, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestCharMetrics(t *testing.T) {
 	cfg.Cells = []string{"INV_X1", "NAND2_X1"}
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	if _, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10)); err != nil {
+	if _, err := cfg.Characterize(ctx, aging.WorstCase(10)); err != nil {
 		t.Fatal(err)
 	}
 	if n := reg.Counter("char.cells").Value(); n != 2 {

@@ -212,25 +212,16 @@ const (
 // treated as immutable (everything in this repository already does).
 var flight conc.Flight[*liberty.Library]
 
-// Characterize builds the timing library for one aging scenario.
-//
-// Deprecated: use CharacterizeContext, which supports cancellation and
-// records into the run's metrics registry. This wrapper uses
-// context.Background and remains for existing callers.
-func (cfg Config) Characterize(s aging.Scenario) (*liberty.Library, error) {
-	return cfg.CharacterizeContext(context.Background(), s)
-}
-
-// CharacterizeContext builds the timing library for one aging scenario,
+// Characterize builds the timing library for one aging scenario,
 // using the on-disk cache when configured. It is safe to call
 // concurrently, including for the same scenario (see flight). Canceling
 // ctx stops in-flight simulations within one time step; the returned
 // error then matches ErrCanceled.
-func (cfg Config) CharacterizeContext(ctx context.Context, s aging.Scenario) (*liberty.Library, error) {
+func (cfg Config) Characterize(ctx context.Context, s aging.Scenario) (*liberty.Library, error) {
 	return cfg.characterizeShared(ctx, s, conc.NewLimiter(cfg.workers()))
 }
 
-// characterizeShared is CharacterizeContext with an externally supplied
+// characterizeShared is the Characterize body with an externally supplied
 // simulation limiter, so nested fan-outs (scenarios x cells x grid points)
 // share one global concurrency bound.
 func (cfg Config) characterizeShared(ctx context.Context, s aging.Scenario, lim conc.Limiter) (*liberty.Library, error) {
@@ -587,23 +578,14 @@ func DiscoverArcs(c *cells.Cell) []ArcSpec {
 	return out
 }
 
-// CharacterizeAll characterizes the scenarios and returns the libraries
-// in input order.
-//
-// Deprecated: use CharacterizeAllContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (cfg Config) CharacterizeAll(scenarios []aging.Scenario) ([]*liberty.Library, error) {
-	return cfg.CharacterizeAllContext(context.Background(), scenarios)
-}
-
-// CharacterizeAllContext characterizes the scenarios concurrently —
+// CharacterizeAll characterizes the scenarios concurrently —
 // bounded by Parallelism both at the scenario level and, through one
 // shared limiter, at the simulation level — and returns the libraries in
 // input order. Per-scenario singleflight ensures duplicate scenarios (or
 // concurrent calls sharing a CacheDir) never characterize or write the
 // same .alib twice at the same time. Canceling ctx stops scenario
 // dispatch and in-flight simulations; the error then matches ErrCanceled.
-func (cfg Config) CharacterizeAllContext(ctx context.Context, scenarios []aging.Scenario) ([]*liberty.Library, error) {
+func (cfg Config) CharacterizeAll(ctx context.Context, scenarios []aging.Scenario) ([]*liberty.Library, error) {
 	ctx, sp := obs.StartSpan(ctx, "char.sweep")
 	defer sp.End()
 	sp.SetAttr("scenarios", len(scenarios))
@@ -684,13 +666,13 @@ func (o *SweepOutcome) Err() error {
 	return &SweepError{Failed: o.Failed, Total: len(o.Scenarios)}
 }
 
-// CharacterizeSweepContext characterizes the scenarios concurrently like
-// CharacterizeAllContext, but a permanently failing scenario no longer
+// CharacterizeSweep characterizes the scenarios concurrently like
+// CharacterizeAll, but a permanently failing scenario no longer
 // aborts the rest of the sweep: its error is recorded (and counted under
 // char.sweep.failed) while every other scenario still completes. Only
 // cancellation stops the sweep early, returning an error matching
 // ErrCanceled. Callers inspect the outcome for partial results.
-func (cfg Config) CharacterizeSweepContext(ctx context.Context, scenarios []aging.Scenario) (*SweepOutcome, error) {
+func (cfg Config) CharacterizeSweep(ctx context.Context, scenarios []aging.Scenario) (*SweepOutcome, error) {
 	ctx, sp := obs.StartSpan(ctx, "char.sweep")
 	defer sp.End()
 	sp.SetAttr("scenarios", len(scenarios))
@@ -732,24 +714,16 @@ func (cfg Config) CharacterizeSweepContext(ctx context.Context, scenarios []agin
 	return out, nil
 }
 
-// GenerateGrid characterizes the full duty-cycle grid for the lifetime.
-//
-// Deprecated: use GenerateGridContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (cfg Config) GenerateGrid(years float64, visit func(*liberty.Library)) error {
-	return cfg.GenerateGridContext(context.Background(), years, visit)
-}
-
-// GenerateGridContext characterizes the paper's full 11x11 duty-cycle
+// GenerateGrid characterizes the paper's full 11x11 duty-cycle
 // grid (121 libraries) for the given lifetime. Scenarios run concurrently
-// (see CharacterizeSweepContext); visit is then invoked serially, in grid
+// (see CharacterizeSweep); visit is then invoked serially, in grid
 // order, once per successfully characterized library. A permanently
 // failing scenario no longer aborts the remaining grid: the error
 // returned after the sweep is a *SweepError listing every failed
 // scenario, while all other libraries were still generated (and visited).
 // Cancellation returns an error matching ErrCanceled immediately.
-func (cfg Config) GenerateGridContext(ctx context.Context, years float64, visit func(*liberty.Library)) error {
-	out, err := cfg.CharacterizeSweepContext(ctx, aging.GridScenarios(years))
+func (cfg Config) GenerateGrid(ctx context.Context, years float64, visit func(*liberty.Library)) error {
+	out, err := cfg.CharacterizeSweep(ctx, aging.GridScenarios(years))
 	if err != nil {
 		return err
 	}
@@ -763,20 +737,12 @@ func (cfg Config) GenerateGridContext(ctx context.Context, years float64, visit 
 	return out.Err()
 }
 
-// CompleteLibrary builds the merged lambda-indexed library.
-//
-// Deprecated: use CompleteLibraryContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (cfg Config) CompleteLibrary(name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
-	return cfg.CompleteLibraryContext(context.Background(), name, scenarios)
-}
-
-// CompleteLibraryContext builds the merged, lambda-indexed "complete
+// CompleteLibrary builds the merged, lambda-indexed "complete
 // degradation-aware cell library" over the scenarios given (e.g. all 121
 // grid points, or just those a netlist annotation needs). Scenarios are
 // characterized concurrently; the merge order is the input order.
-func (cfg Config) CompleteLibraryContext(ctx context.Context, name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
-	libs, err := cfg.CharacterizeAllContext(ctx, scenarios)
+func (cfg Config) CompleteLibrary(ctx context.Context, name string, scenarios []aging.Scenario) (*liberty.Merged, error) {
+	libs, err := cfg.CharacterizeAll(ctx, scenarios)
 	if err != nil {
 		return nil, err
 	}

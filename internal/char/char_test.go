@@ -1,6 +1,7 @@
 package char
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -75,7 +76,7 @@ func charSubset(t *testing.T, names []string, s aging.Scenario) *liberty.Library
 	t.Helper()
 	cfg := TestConfig()
 	cfg.Cells = names
-	lib, err := cfg.Characterize(s)
+	lib, err := cfg.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestVthOnlyUnderestimates(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Cells = []string{"INV_X1"}
 	cfg.VthOnly = true
-	vth, err := cfg.Characterize(aging.WorstCase(10))
+	vth, err := cfg.Characterize(context.Background(), aging.WorstCase(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,12 +221,12 @@ func TestCacheRoundTrip(t *testing.T) {
 	cfg.Cells = []string{"INV_X1"}
 	cfg.CacheDir = dir
 	s := aging.WorstCase(10)
-	lib1, err := cfg.Characterize(s)
+	lib1, err := cfg.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second call must hit the cache and return identical values.
-	lib2, err := cfg.Characterize(s)
+	lib2, err := cfg.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func TestTruncatedCacheDetected(t *testing.T) {
 	cfg.Cells = []string{"INV_X1"}
 	cfg.CacheDir = dir
 	s := aging.WorstCase(10)
-	if _, err := cfg.Characterize(s); err != nil {
+	if _, err := cfg.Characterize(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	path := cfg.cachePath(s)
@@ -57,7 +57,7 @@ func TestTruncatedCacheDetected(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	if _, err := cfg.CharacterizeContext(ctx, s); err != nil {
+	if _, err := cfg.Characterize(ctx, s); err != nil {
 		t.Fatal(err)
 	}
 	if n := reg.Counter("char.cache.corrupt").Value(); n != 1 {

@@ -26,7 +26,7 @@ func TestAnalyticJacobianMatchesFiniteDifference(t *testing.T) {
 		cfg := TestConfig()
 		cfg.CacheDir = "" // never let one mode serve the other from cache
 		cfg.FiniteDiffJacobian = fd
-		lib, err := cfg.CharacterizeContext(context.Background(), aging.WorstCase(10))
+		lib, err := cfg.Characterize(context.Background(), aging.WorstCase(10))
 		if err != nil {
 			t.Fatalf("characterize (fd=%v): %v", fd, err)
 		}

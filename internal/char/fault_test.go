@@ -51,7 +51,7 @@ func TestSalvageIsolatedPoints(t *testing.T) {
 	)
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	lib, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10))
+	lib, err := cfg.Characterize(ctx, aging.WorstCase(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestSalvageRetryRecoveryNeedsNoSalvage(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	lib, err := cfg.CharacterizeContext(ctx, aging.WorstCase(10))
+	lib, err := cfg.Characterize(ctx, aging.WorstCase(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestStrictFailsWithPointError(t *testing.T) {
 	cfg := faultConfig()
 	cfg.Strict = true
 	cfg.FaultInject = failAt(Point{Edge: liberty.Rise, I: 0, J: 0})
-	_, err := cfg.Characterize(aging.WorstCase(10))
+	_, err := cfg.Characterize(context.Background(), aging.WorstCase(10))
 	if err == nil {
 		t.Fatal("strict characterization with a failing point returned nil")
 	}
@@ -140,7 +140,7 @@ func TestSalvageBudgetExceeded(t *testing.T) {
 		Point{Edge: liberty.Rise, I: 2, J: 2},
 		Point{Edge: liberty.Fall, I: 4, J: 4},
 	)
-	_, err := cfg.Characterize(aging.WorstCase(10))
+	_, err := cfg.Characterize(context.Background(), aging.WorstCase(10))
 	if !errors.Is(err, ErrSalvage) {
 		t.Fatalf("got %v, want ErrSalvage", err)
 	}
@@ -160,7 +160,7 @@ func TestSalvageAdjacentRejected(t *testing.T) {
 		Point{Edge: liberty.Rise, I: 0, J: 0},
 		Point{Edge: liberty.Rise, I: 0, J: 1},
 	)
-	_, err := cfg.Characterize(aging.WorstCase(10))
+	_, err := cfg.Characterize(context.Background(), aging.WorstCase(10))
 	if !errors.Is(err, ErrSalvage) {
 		t.Fatalf("got %v, want ErrSalvage", err)
 	}
@@ -177,7 +177,7 @@ func TestSalvageOppositeEdgesNotAdjacent(t *testing.T) {
 		Point{Edge: liberty.Rise, I: 2, J: 2},
 		Point{Edge: liberty.Fall, I: 2, J: 2},
 	)
-	lib, err := cfg.Characterize(aging.WorstCase(10))
+	lib, err := cfg.Characterize(context.Background(), aging.WorstCase(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestSalvagedCacheRoundtrip(t *testing.T) {
 	cfg.CacheDir = dir
 	cfg.FaultInject = failAt(Point{Edge: liberty.Rise, I: 0, J: 0})
 	s := aging.WorstCase(10)
-	if _, err := cfg.Characterize(s); err != nil {
+	if _, err := cfg.Characterize(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	// Reload from disk: the marker survived serialization.
@@ -216,7 +216,7 @@ func TestSalvagedCacheRoundtrip(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	lib2, err := strict.CharacterizeContext(ctx, s)
+	lib2, err := strict.Characterize(ctx, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestSweepContinuesPastFailingScenario(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	out, err := cfg.CharacterizeSweepContext(ctx, scenarios)
+	out, err := cfg.CharacterizeSweep(ctx, scenarios)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestSweepCancellationAborts(t *testing.T) {
 	cfg := sweepConfig(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := cfg.CharacterizeSweepContext(ctx, []aging.Scenario{aging.Fresh(), aging.WorstCase(10)})
+	_, err := cfg.CharacterizeSweep(ctx, []aging.Scenario{aging.Fresh(), aging.WorstCase(10)})
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("got %v, want ErrCanceled", err)
 	}
@@ -315,7 +315,7 @@ func TestCkptStoreFaultNonFatal(t *testing.T) {
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
 	s := aging.WorstCase(10)
-	if _, err := cfg.CharacterizeContext(ctx, s); err != nil {
+	if _, err := cfg.Characterize(ctx, s); err != nil {
 		t.Fatal(err)
 	}
 	if n := reg.Counter("char.ckpt.store.errors").Value(); n == 0 {
@@ -338,7 +338,7 @@ func TestCkptLoadFaultIsMiss(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := cfg.Characterize(aging.WorstCase(10)); err != nil {
+	if _, err := cfg.Characterize(context.Background(), aging.WorstCase(10)); err != nil {
 		t.Fatalf("characterization failed on shard-load faults: %v", err)
 	}
 }
@@ -354,7 +354,7 @@ func TestCacheStoreFaultSurfacesError(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := cfg.Characterize(aging.WorstCase(10)); !errors.Is(err, boom) {
+	if _, err := cfg.Characterize(context.Background(), aging.WorstCase(10)); !errors.Is(err, boom) {
 		t.Fatalf("got %v, want the injected store error", err)
 	}
 	// Shards from the completed cells remain for the next attempt.
@@ -369,7 +369,7 @@ func TestCacheStoreFaultSurfacesError(t *testing.T) {
 	}
 }
 
-// TestGridPartialFailure: GenerateGridContext finishes the rest of the
+// TestGridPartialFailure: GenerateGrid finishes the rest of the
 // grid when single scenarios fail permanently, visiting every completed
 // library and returning a SweepError naming the failures.
 func TestGridPartialFailure(t *testing.T) {
@@ -386,7 +386,7 @@ func TestGridPartialFailure(t *testing.T) {
 	// characterize the full grid would be minutes; instead run the sweep
 	// API directly over a 4-scenario slice including the saboteur.
 	scenarios := []aging.Scenario{grid[0], grid[5], grid[60], grid[120]}
-	out, err := cfg.CharacterizeSweepContext(context.Background(), scenarios)
+	out, err := cfg.CharacterizeSweep(context.Background(), scenarios)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +436,7 @@ func TestErrNoCellBeforeCacheIO(t *testing.T) {
 		t.Errorf("cache op %q on %s attempted before cell validation", op, path)
 		return nil
 	}
-	if _, err := cfg.Characterize(aging.Fresh()); !errors.Is(err, ErrNoCell) {
+	if _, err := cfg.Characterize(context.Background(), aging.Fresh()); !errors.Is(err, ErrNoCell) {
 		t.Fatalf("got %v, want ErrNoCell", err)
 	}
 }
@@ -449,7 +449,7 @@ func TestStrictRefusesSalvagedShard(t *testing.T) {
 	cfg.CacheDir = dir
 	s := aging.WorstCase(10)
 	// Store a shard with a salvage marker by hand.
-	lib, err := cfg.Characterize(s)
+	lib, err := cfg.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

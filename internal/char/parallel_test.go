@@ -2,6 +2,7 @@ package char
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,13 +35,13 @@ func TestParallelMatchesSerialByteIdentical(t *testing.T) {
 
 	serial := cfg
 	serial.Parallelism = 1
-	libS, err := serial.Characterize(s)
+	libS, err := serial.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := cfg
 	par.Parallelism = 8
-	libP, err := par.Characterize(s)
+	libP, err := par.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestGenerateGridConcurrentSharedCache(t *testing.T) {
 	scens := aging.GridScenarios(10)
 	run := func() ([]string, error) {
 		var names []string
-		err := cfg.GenerateGrid(10, func(l *liberty.Library) {
+		err := cfg.GenerateGrid(context.Background(), 10, func(l *liberty.Library) {
 			names = append(names, l.Name)
 		})
 		return names, err
@@ -153,7 +154,7 @@ func TestConcurrentCharacterizeSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			libs[k], errs[k] = cfg.Characterize(s)
+			libs[k], errs[k] = cfg.Characterize(context.Background(), s)
 		}()
 	}
 	wg.Wait()
@@ -185,7 +186,7 @@ func TestProgressSerialAndMonotonic(t *testing.T) {
 		seen = append(seen, done)
 		totals = append(totals, total)
 	}
-	if _, err := cfg.Characterize(aging.WorstCase(10)); err != nil {
+	if _, err := cfg.Characterize(context.Background(), aging.WorstCase(10)); err != nil {
 		t.Fatal(err)
 	}
 	if len(seen) != len(cfg.Cells) {
@@ -212,7 +213,7 @@ func TestStoreCacheErrorSurfaced(t *testing.T) {
 	cfg := TestConfig()
 	cfg.Cells = []string{"INV_X1"}
 	cfg.CacheDir = filepath.Join(blocker, "cache")
-	if _, err := cfg.Characterize(aging.WorstCase(10)); err == nil {
+	if _, err := cfg.Characterize(context.Background(), aging.WorstCase(10)); err == nil {
 		t.Fatal("cache store failure was swallowed")
 	}
 }

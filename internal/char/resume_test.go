@@ -32,7 +32,7 @@ func TestResumeAfterInterrupt(t *testing.T) {
 	base.Parallelism = 1
 	base.CacheDir = t.TempDir()
 	baseReg := obs.NewRegistry()
-	refLib, err := base.CharacterizeContext(obs.With(context.Background(), baseReg), s)
+	refLib, err := base.Characterize(obs.With(context.Background(), baseReg), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestResumeAfterInterrupt(t *testing.T) {
 			cancel()
 		}
 	}
-	if _, err := cfg.CharacterizeContext(ctx, s); !errors.Is(err, ErrCanceled) {
+	if _, err := cfg.Characterize(ctx, s); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("interrupted run: got %v, want ErrCanceled", err)
 	}
 	shards, other := 0, 0
@@ -82,7 +82,7 @@ func TestResumeAfterInterrupt(t *testing.T) {
 	resume.Parallelism = 1
 	resume.CacheDir = dir
 	reg := obs.NewRegistry()
-	lib, err := resume.CharacterizeContext(obs.With(context.Background(), reg), s)
+	lib, err := resume.Characterize(obs.With(context.Background(), reg), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestResumeCorruptShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
-	lib, err := cfg.CharacterizeContext(obs.With(context.Background(), reg), s)
+	lib, err := cfg.Characterize(obs.With(context.Background(), reg), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestCkptDisabledWithoutCache(t *testing.T) {
 	cfg.Cells = []string{"INV_X1"}
 	cfg.CacheDir = ""
 	reg := obs.NewRegistry()
-	if _, err := cfg.CharacterizeContext(obs.With(context.Background(), reg), aging.WorstCase(10)); err != nil {
+	if _, err := cfg.Characterize(obs.With(context.Background(), reg), aging.WorstCase(10)); err != nil {
 		t.Fatal(err)
 	}
 	if n := reg.Counter("char.ckpt.hits").Value(); n != 0 {

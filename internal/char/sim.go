@@ -195,7 +195,7 @@ func (cfg Config) simComb(ctx context.Context, c *cells.Cell, s aging.Scenario, 
 
 	tstop := t0 + slew + 3*units.Ns
 	opts := cfg.solverOpts(spice.Options{MaxStep: 25 * units.Ps}, p)
-	res, err := ckt.RunRetryContext(ctx, tstop, opts, cfg.retries())
+	res, err := ckt.RunRetry(ctx, tstop, opts, cfg.retries())
 	if err != nil {
 		return measurement{}, err
 	}
@@ -263,7 +263,7 @@ func (cfg Config) simClock(ctx context.Context, c *cells.Cell, s aging.Scenario,
 		},
 	}, p)
 	tstop := t0 + slew + 3*units.Ns
-	res, err := ckt.RunRetryContext(ctx, tstop, opts, cfg.retries())
+	res, err := ckt.RunRetry(ctx, tstop, opts, cfg.retries())
 	if err != nil {
 		return measurement{}, err
 	}

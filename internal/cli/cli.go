@@ -1,0 +1,80 @@
+// Package cli holds the process scaffolding shared by every ageguard
+// command: the observability run-control flags (-metrics, -trace-out,
+// -pprof, -timeout), the characterization robustness knobs (-retries,
+// -strict), logger setup and the conventional error-exit taxonomy.
+//
+// A command wires itself in three lines:
+//
+//	c := cli.Register("mycmd", flag.CommandLine)
+//	flag.Parse()
+//	c.Main(root, func(ctx context.Context) error { return run(ctx, ...) })
+//
+// where root is the context minted in package main (the only place a
+// root context is created).
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+
+	"ageguard/internal/conc"
+	"ageguard/internal/obs"
+)
+
+// Common bundles the flags every command shares. Obs carries the
+// observability flags (see obs.CLIFlags); Retries and Strict feed the
+// characterization layer's escalation ladder and salvage policy.
+type Common struct {
+	Obs     *obs.CLIFlags
+	Retries int
+	Strict  bool
+}
+
+// Register configures the standard logger (no timestamps, "name: "
+// prefix), installs the shared flags on fs (use flag.CommandLine in
+// main) and returns the holder. Call flag.Parse afterwards, then Main.
+func Register(name string, fs *flag.FlagSet) *Common {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+	c := &Common{Obs: obs.RegisterFlags(fs)}
+	fs.IntVar(&c.Retries, "retries", 0,
+		"solver escalation-ladder depth per grid point (0 = default, negative = off)")
+	fs.BoolVar(&c.Strict, "strict", false,
+		"fail on non-convergent grid points instead of salvaging by interpolation")
+	return c
+}
+
+// Main runs fn under the standard scaffolding: root (mint it in package
+// main — internal code never creates root contexts) is extended with a
+// fresh metrics registry, canceled on SIGINT/SIGTERM and when the
+// -timeout budget elapses (obs.CLIFlags.Setup); the configured sinks
+// are flushed after fn returns, on the error path too. The error is
+// then mapped through the shared exit taxonomy — a deadline and an
+// interrupt each get a distinct one-line diagnosis, anything else is
+// fatal verbatim.
+func (c *Common) Main(root context.Context, fn func(ctx context.Context) error) {
+	ctx, _, finish := c.Obs.Setup(root)
+	err := fn(ctx)
+	finish()
+	if msg, failed := Diagnose(err); failed {
+		log.Fatal(msg)
+	}
+}
+
+// Diagnose maps a command error to its exit message. failed reports
+// whether the command should exit nonzero; msg is the one-line
+// diagnosis to print when it should.
+func Diagnose(err error) (msg string, failed bool) {
+	switch {
+	case err == nil:
+		return "", false
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline exceeded (-timeout)", true
+	case errors.Is(err, conc.ErrCanceled):
+		return "interrupted", true
+	default:
+		return err.Error(), true
+	}
+}

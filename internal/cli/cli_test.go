@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"ageguard/internal/conc"
+)
+
+func TestRegisterInstallsSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register("x", fs)
+	err := fs.Parse([]string{
+		"-retries", "3", "-strict",
+		"-metrics", "-trace-out", "m.json", "-timeout", "90s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Retries != 3 || !c.Strict {
+		t.Errorf("robustness flags not parsed: %+v", c)
+	}
+	if !c.Obs.Metrics || c.Obs.TraceOut != "m.json" || c.Obs.Timeout != 90*time.Second {
+		t.Errorf("obs flags not parsed: %+v", c.Obs)
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	cases := []struct {
+		err    error
+		msg    string
+		failed bool
+	}{
+		{nil, "", false},
+		{context.DeadlineExceeded, "deadline exceeded (-timeout)", true},
+		{fmt.Errorf("sweep: %w", context.DeadlineExceeded), "deadline exceeded (-timeout)", true},
+		{conc.ErrCanceled, "interrupted", true},
+		{fmt.Errorf("dsp: %w", conc.ErrCanceled), "interrupted", true},
+		{errors.New("boom"), "boom", true},
+	}
+	for _, c := range cases {
+		msg, failed := Diagnose(c.err)
+		if msg != c.msg || failed != c.failed {
+			t.Errorf("Diagnose(%v) = (%q, %v), want (%q, %v)", c.err, msg, failed, c.msg, c.failed)
+		}
+	}
+}

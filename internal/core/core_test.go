@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -79,11 +80,11 @@ func TestImprovedFraction(t *testing.T) {
 
 func TestSingleOPCLibraryStructure(t *testing.T) {
 	f := Default()
-	fresh, err := f.FreshLibrary()
+	fresh, err := f.FreshLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestSingleOPCLibraryStructure(t *testing.T) {
 
 func TestAgingSurfaceShape(t *testing.T) {
 	f := Default()
-	s, err := f.AgingSurface("NAND2_X1", liberty.Rise)
+	s, err := f.AgingSurface(context.Background(), "NAND2_X1", liberty.Rise)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,15 +136,15 @@ func TestAgingSurfaceShape(t *testing.T) {
 
 func TestLibraryVariants(t *testing.T) {
 	f := Default()
-	fresh, err := f.FreshLibrary()
+	fresh, err := f.FreshLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	vth, err := f.VthOnlyLibrary()
+	vth, err := f.VthOnlyLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	worst, err := f.WorstLibrary()
+	worst, err := f.WorstLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestCompleteLibraryScenarios(t *testing.T) {
 		aging.WorstCase(10).WithLambda(0.3, 0.7),
 		aging.WorstCase(10).WithLambda(1, 1),
 	}
-	m, err := f.CompleteLibrary(scens)
+	m, err := f.CompleteLibrary(context.Background(), scens)
 	if err != nil {
 		t.Fatal(err)
 	}

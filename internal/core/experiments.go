@@ -32,12 +32,12 @@ type Surface struct {
 // AgingSurface computes the paper's Fig. 1 surface: the percentage delay
 // change of the cell's first timing arc, per OPC, between the fresh
 // library and worst-case aging at the flow lifetime.
-func (f Flow) AgingSurface(cell string, edge liberty.Edge) (*Surface, error) {
-	fresh, err := f.FreshLibrary()
+func (f Flow) AgingSurface(ctx context.Context, cell string, edge liberty.Edge) (*Surface, error) {
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -145,12 +145,12 @@ func Histogram(v []float64, lo, hi float64, n int) []int {
 // DelayChangeDistribution computes the paper's Fig. 2 data over the whole
 // combinational cell set. The "single OPC" column follows [12,13]: the
 // slowest input slew with the smallest output capacitance.
-func (f Flow) DelayChangeDistribution() (*Distribution, error) {
-	fresh, err := f.FreshLibrary()
+func (f Flow) DelayChangeDistribution(ctx context.Context) (*Distribution, error) {
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -278,29 +278,21 @@ func summarize(aspect string, rows []Fig5Row) *Fig5Report {
 // Fig5a quantifies neglecting the mobility degradation: guardbands from
 // the Vth-only library versus the full (Vth + mu) library, over the given
 // circuits (paper: -19% on average).
-//
-// Deprecated: use Fig5aContext. This wrapper uses context.Background and
-// remains for existing callers.
-func (f Flow) Fig5a(circuits []string) (*Fig5Report, error) {
-	return f.Fig5aContext(context.Background(), circuits)
-}
-
-// Fig5aContext is Fig5a with cancellation and tracing.
-func (f Flow) Fig5aContext(ctx context.Context, circuits []string) (*Fig5Report, error) {
-	vth, err := f.VthOnlyLibraryContext(ctx)
+func (f Flow) Fig5a(ctx context.Context, circuits []string) (*Fig5Report, error) {
+	vth, err := f.VthOnlyLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return f.fig5(ctx, circuits, "mu", func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error) {
-		fresh, err := f.FreshLibraryContext(ctx)
+		fresh, err := f.FreshLibrary(ctx)
 		if err != nil {
 			return 0, err
 		}
-		fcp, err := f.CPContext(ctx, nl, fresh)
+		fcp, err := f.CP(ctx, nl, fresh)
 		if err != nil {
 			return 0, err
 		}
-		vcp, err := f.CPContext(ctx, nl, vth)
+		vcp, err := f.CP(ctx, nl, vth)
 		if err != nil {
 			return 0, err
 		}
@@ -310,26 +302,18 @@ func (f Flow) Fig5aContext(ctx context.Context, circuits []string) (*Fig5Report,
 
 // Fig5b quantifies using a single OPC: guardbands from the single-OPC
 // scaled library versus the full library (paper: +214% on average).
-//
-// Deprecated: use Fig5bContext. This wrapper uses context.Background and
-// remains for existing callers.
-func (f Flow) Fig5b(circuits []string) (*Fig5Report, error) {
-	return f.Fig5bContext(context.Background(), circuits)
-}
-
-// Fig5bContext is Fig5b with cancellation and tracing.
-func (f Flow) Fig5bContext(ctx context.Context, circuits []string) (*Fig5Report, error) {
-	fresh, err := f.FreshLibraryContext(ctx)
+func (f Flow) Fig5b(ctx context.Context, circuits []string) (*Fig5Report, error) {
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibraryContext(ctx)
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
 	single := SingleOPCLibrary(fresh, aged)
 	return f.fig5(ctx, circuits, "opc", func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error) {
-		scp, err := f.CPContext(ctx, nl, single)
+		scp, err := f.CP(ctx, nl, single)
 		if err != nil {
 			return 0, err
 		}
@@ -340,25 +324,17 @@ func (f Flow) Fig5bContext(ctx context.Context, circuits []string) (*Fig5Report,
 // Fig5c quantifies neglecting critical-path switching: the aged delay of
 // the *initially* critical path versus the true aged critical path
 // (paper: ~-6% on average).
-//
-// Deprecated: use Fig5cContext. This wrapper uses context.Background and
-// remains for existing callers.
-func (f Flow) Fig5c(circuits []string) (*Fig5Report, error) {
-	return f.Fig5cContext(context.Background(), circuits)
-}
-
-// Fig5cContext is Fig5c with cancellation and tracing.
-func (f Flow) Fig5cContext(ctx context.Context, circuits []string) (*Fig5Report, error) {
-	fresh, err := f.FreshLibraryContext(ctx)
+func (f Flow) Fig5c(ctx context.Context, circuits []string) (*Fig5Report, error) {
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibraryContext(ctx)
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return f.fig5(ctx, circuits, "cpswitch", func(ctx context.Context, nl *netlist.Netlist, full Guardband) (float64, error) {
-		res, err := sta.AnalyzeContext(ctx, nl, fresh, f.STA)
+		res, err := sta.Analyze(ctx, nl, fresh, f.STA)
 		if err != nil {
 			return 0, err
 		}
@@ -385,11 +361,11 @@ func (f Flow) fig5(ctx context.Context, circuits []string, aspect string,
 	rows := make([]Fig5Row, len(circuits))
 	err := conc.ParFor(ctx, f.workers(), len(circuits), func(i int) error {
 		c := circuits[i]
-		nl, err := f.SynthesizeTraditionalContext(ctx, c)
+		nl, err := f.SynthesizeTraditional(ctx, c)
 		if err != nil {
 			return err
 		}
-		full, err := f.StaticGuardbandContext(ctx, c, nl, aging.WorstCase(f.Lifetime))
+		full, err := f.StaticGuardband(ctx, c, nl, aging.WorstCase(f.Lifetime))
 		if err != nil {
 			return err
 		}
@@ -440,45 +416,37 @@ type ContainmentRow struct {
 	AreaOvhPct   float64
 }
 
-// Containment runs the Fig. 6a/b comparison for one circuit.
-//
-// Deprecated: use ContainmentContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) Containment(circuit string) (ContainmentRow, error) {
-	return f.ContainmentContext(context.Background(), circuit)
-}
-
-// ContainmentContext runs the Fig. 6a/b comparison for one circuit,
+// Containment runs the Fig. 6a/b comparison for one circuit,
 // traced under a "core.containment" span.
-func (f Flow) ContainmentContext(ctx context.Context, circuit string) (ContainmentRow, error) {
+func (f Flow) Containment(ctx context.Context, circuit string) (ContainmentRow, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.containment")
 	defer sp.End()
 	sp.SetAttr("circuit", circuit)
 	var row ContainmentRow
 	row.Circuit = circuit
-	fresh, err := f.FreshLibraryContext(ctx)
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return row, err
 	}
-	aged, err := f.WorstLibraryContext(ctx)
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return row, err
 	}
-	trad, err := f.SynthesizedContext(ctx, circuit, fresh)
+	trad, err := f.Synthesized(ctx, circuit, fresh)
 	if err != nil {
 		return row, err
 	}
-	aware, err := f.SynthesizedContext(ctx, circuit, aged)
+	aware, err := f.Synthesized(ctx, circuit, aged)
 	if err != nil {
 		return row, err
 	}
-	if row.TradFreshCP, err = f.CPContext(ctx, trad, fresh); err != nil {
+	if row.TradFreshCP, err = f.CP(ctx, trad, fresh); err != nil {
 		return row, err
 	}
-	if row.TradAgedCP, err = f.CPContext(ctx, trad, aged); err != nil {
+	if row.TradAgedCP, err = f.CP(ctx, trad, aged); err != nil {
 		return row, err
 	}
-	if row.AwareAgedCP, err = f.CPContext(ctx, aware, aged); err != nil {
+	if row.AwareAgedCP, err = f.CP(ctx, aware, aged); err != nil {
 		return row, err
 	}
 	row.RequiredGB = row.TradAgedCP - row.TradFreshCP
@@ -506,24 +474,16 @@ type ContainmentReport struct {
 
 // ContainmentAll runs the comparison over the circuit list. Circuits are
 // analyzed concurrently (bounded by Flow.Parallelism) into pre-indexed
-// rows; the aggregation below stays serial and order-stable.
-//
-// Deprecated: use ContainmentAllContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) ContainmentAll(circuits []string) (*ContainmentReport, error) {
-	return f.ContainmentAllContext(context.Background(), circuits)
-}
-
-// ContainmentAllContext is ContainmentAll with cancellation: canceling
-// ctx stops circuit dispatch and all in-flight synthesis/characterization
+// rows; the aggregation stays serial and order-stable. Canceling ctx
+// stops circuit dispatch and all in-flight synthesis/characterization
 // work; the error then matches conc.ErrCanceled.
-func (f Flow) ContainmentAllContext(ctx context.Context, circuits []string) (*ContainmentReport, error) {
+func (f Flow) ContainmentAll(ctx context.Context, circuits []string) (*ContainmentReport, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.containment.all")
 	defer sp.End()
 	sp.SetAttr("circuits", len(circuits))
 	rows := make([]ContainmentRow, len(circuits))
 	err := conc.ParFor(ctx, f.workers(), len(circuits), func(i int) error {
-		row, err := f.ContainmentContext(ctx, circuits[i])
+		row, err := f.Containment(ctx, circuits[i])
 		if err != nil {
 			return err
 		}
@@ -602,50 +562,41 @@ type TighteningRow struct {
 // timing identifies critical paths, fresh-library sizing re-optimizes
 // them. Its structural weakness — the re-optimization cannot see which
 // replacement cells age well — is exactly the paper's criticism.
-//
-// Deprecated: use IterativeTighteningContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) IterativeTightening(circuit string) (TighteningRow, error) {
-	return f.IterativeTighteningContext(context.Background(), circuit)
-}
-
-// IterativeTighteningContext is IterativeTightening with cancellation and
-// tracing.
-func (f Flow) IterativeTighteningContext(ctx context.Context, circuit string) (TighteningRow, error) {
+func (f Flow) IterativeTightening(ctx context.Context, circuit string) (TighteningRow, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.tightening")
 	defer sp.End()
 	sp.SetAttr("circuit", circuit)
 	var row TighteningRow
 	row.Circuit = circuit
-	fresh, err := f.FreshLibraryContext(ctx)
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return row, err
 	}
-	aged, err := f.WorstLibraryContext(ctx)
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return row, err
 	}
-	trad, err := f.SynthesizedContext(ctx, circuit, fresh)
+	trad, err := f.Synthesized(ctx, circuit, fresh)
 	if err != nil {
 		return row, err
 	}
-	freshCP, err := f.CPContext(ctx, trad, fresh)
+	freshCP, err := f.CP(ctx, trad, fresh)
 	if err != nil {
 		return row, err
 	}
-	tradAged, err := f.CPContext(ctx, trad, aged)
+	tradAged, err := f.CP(ctx, trad, aged)
 	if err != nil {
 		return row, err
 	}
-	tightened, err := synth.SizeGatesDualContext(ctx, trad, fresh, aged, f.synthConfig())
+	tightened, err := synth.SizeGatesDual(ctx, trad, fresh, aged, f.synthConfig())
 	if err != nil {
 		return row, err
 	}
-	tightAged, err := f.CPContext(ctx, tightened, aged)
+	tightAged, err := f.CP(ctx, tightened, aged)
 	if err != nil {
 		return row, err
 	}
-	aware, err := f.ContainmentContext(ctx, circuit)
+	aware, err := f.Containment(ctx, circuit)
 	if err != nil {
 		return row, err
 	}
@@ -710,44 +661,35 @@ func (g *GuardbandGrid) Format() string {
 	return b.String()
 }
 
-// GuardbandGridFor synthesizes the circuit traditionally and re-times it
-// under every library of the duty-cycle grid.
-//
-// Deprecated: use GuardbandGridContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) GuardbandGridFor(circuit string) (*GuardbandGrid, error) {
-	return f.GuardbandGridContext(context.Background(), circuit)
-}
-
-// GuardbandGridContext synthesizes the circuit traditionally, then times
+// GuardbandGridFor synthesizes the circuit traditionally, then times
 // the one netlist under all 121 duty-cycle libraries of the paper's grid
-// in a single batched STA run (sta.AnalyzeBatchContext): the netlist
+// in a single batched STA run (sta.AnalyzeBatch): the netlist
 // topology is compiled once and every library only rebinds timing views,
 // fanning out over Flow.Parallelism workers. Canceling ctx stops both the
 // characterization sweep and the batch mid-flight with an error matching
 // conc.ErrCanceled.
-func (f Flow) GuardbandGridContext(ctx context.Context, circuit string) (*GuardbandGrid, error) {
+func (f Flow) GuardbandGridFor(ctx context.Context, circuit string) (*GuardbandGrid, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.guardband.grid")
 	defer sp.End()
 	sp.SetAttr("circuit", circuit)
-	nl, err := f.SynthesizeTraditionalContext(ctx, circuit)
+	nl, err := f.SynthesizeTraditional(ctx, circuit)
 	if err != nil {
 		return nil, err
 	}
-	fresh, err := f.FreshLibraryContext(ctx)
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	fcp, err := f.CPContext(ctx, nl, fresh)
+	fcp, err := f.CP(ctx, nl, fresh)
 	if err != nil {
 		return nil, err
 	}
 	scens := aging.GridScenarios(f.Lifetime)
-	libs, err := f.Char.CharacterizeAllContext(ctx, scens)
+	libs, err := f.Char.CharacterizeAll(ctx, scens)
 	if err != nil {
 		return nil, err
 	}
-	results, err := sta.AnalyzeBatchContext(ctx, nl, libs, f.STA, f.workers())
+	results, err := sta.AnalyzeBatch(ctx, nl, libs, f.STA, f.workers())
 	if err != nil {
 		return nil, err
 	}

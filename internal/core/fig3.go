@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,19 +40,19 @@ type Fig3Report struct {
 // over dummy fanout loads finds a configuration where path 1 is critical
 // before aging and path 2 after — demonstrating why guardbanding from the
 // initial critical path alone is wrong.
-func (f Flow) Fig3PathSwitch() (*Fig3Report, error) {
-	fresh, err := f.FreshLibrary()
+func (f Flow) Fig3PathSwitch(ctx context.Context) (*Fig3Report, error) {
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	aged, err := f.WorstLibrary()
+	aged, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var best *Fig3Report
 	for k1 := 0; k1 <= 10; k1++ {
 		for k2 := 0; k2 <= 10; k2++ {
-			rep, err := f.fig3Config(fresh, aged, k1, k2)
+			rep, err := f.fig3Config(ctx, fresh, aged, k1, k2)
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +83,7 @@ func closer(r *Fig3Report) float64 {
 }
 
 // fig3Config builds one candidate two-path netlist with k1/k2 dummy loads.
-func (f Flow) fig3Config(fresh, aged *liberty.Library, k1, k2 int) (*Fig3Report, error) {
+func (f Flow) fig3Config(ctx context.Context, fresh, aged *liberty.Library, k1, k2 int) (*Fig3Report, error) {
 	nl := netlist.New("fig3")
 	nl.Inputs = []string{"d1", "d2", "en"}
 	nl.Outputs = []string{"q1", "q2"}
@@ -122,11 +123,11 @@ func (f Flow) fig3Config(fresh, aged *liberty.Library, k1, k2 int) (*Fig3Report,
 		nl.AddInst(s, "INV_X4", map[string]string{"A": "p2b", "ZN": s + "_o"})
 	}
 
-	rf, err := sta.Analyze(nl, fresh, f.STA)
+	rf, err := sta.Analyze(ctx, nl, fresh, f.STA)
 	if err != nil {
 		return nil, err
 	}
-	ra, err := sta.Analyze(nl, aged, f.STA)
+	ra, err := sta.Analyze(ctx, nl, aged, f.STA)
 	if err != nil {
 		return nil, err
 	}

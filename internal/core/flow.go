@@ -64,71 +64,37 @@ func Default() Flow {
 	}
 }
 
-// Library characterizes (or loads) the degradation-aware library for a
-// scenario.
-//
-// Deprecated: use LibraryContext. This wrapper uses context.Background
-// and remains for existing callers.
-func (f Flow) Library(s aging.Scenario) (*liberty.Library, error) {
-	return f.LibraryContext(context.Background(), s)
-}
-
-// LibraryContext characterizes (or loads) the degradation-aware library
+// Library characterizes (or loads) the degradation-aware library
 // for a scenario. Canceling ctx stops in-flight simulations within one
 // time step; the error then matches conc.ErrCanceled.
-func (f Flow) LibraryContext(ctx context.Context, s aging.Scenario) (*liberty.Library, error) {
-	return f.Char.CharacterizeContext(ctx, s)
+func (f Flow) Library(ctx context.Context, s aging.Scenario) (*liberty.Library, error) {
+	return f.Char.Characterize(ctx, s)
 }
 
 // FreshLibrary returns the unaged (initial) library.
-func (f Flow) FreshLibrary() (*liberty.Library, error) {
-	return f.Library(aging.Fresh())
-}
-
-// FreshLibraryContext returns the unaged (initial) library.
-func (f Flow) FreshLibraryContext(ctx context.Context) (*liberty.Library, error) {
-	return f.LibraryContext(ctx, aging.Fresh())
+func (f Flow) FreshLibrary(ctx context.Context) (*liberty.Library, error) {
+	return f.Library(ctx, aging.Fresh())
 }
 
 // WorstLibrary returns the worst-case static-stress library
 // (lambda = 1.0/1.0) at the flow lifetime.
-func (f Flow) WorstLibrary() (*liberty.Library, error) {
-	return f.Library(aging.WorstCase(f.Lifetime))
+func (f Flow) WorstLibrary(ctx context.Context) (*liberty.Library, error) {
+	return f.Library(ctx, aging.WorstCase(f.Lifetime))
 }
 
-// WorstLibraryContext returns the worst-case static-stress library
-// (lambda = 1.0/1.0) at the flow lifetime.
-func (f Flow) WorstLibraryContext(ctx context.Context) (*liberty.Library, error) {
-	return f.LibraryContext(ctx, aging.WorstCase(f.Lifetime))
-}
-
-// VthOnlyLibrary returns the worst-case library characterized with the
-// mobility degradation disabled — the paper's model of state-of-the-art
-// Vth-only analyses (Fig. 5a).
-func (f Flow) VthOnlyLibrary() (*liberty.Library, error) {
-	return f.VthOnlyLibraryContext(context.Background())
-}
-
-// VthOnlyLibraryContext is VthOnlyLibrary with cancellation.
-func (f Flow) VthOnlyLibraryContext(ctx context.Context) (*liberty.Library, error) {
+// VthOnlyLibrary returns the worst-case library characterized with
+// the mobility degradation disabled — the paper's model of
+// state-of-the-art Vth-only analyses (Fig. 5a).
+func (f Flow) VthOnlyLibrary(ctx context.Context) (*liberty.Library, error) {
 	cfg := f.Char
 	cfg.VthOnly = true
-	return cfg.CharacterizeContext(ctx, aging.WorstCase(f.Lifetime))
+	return cfg.Characterize(ctx, aging.WorstCase(f.Lifetime))
 }
 
-// CompleteLibrary merges the libraries of the given scenarios into the
-// lambda-indexed complete library (paper Sec. 4.1).
-//
-// Deprecated: use CompleteLibraryContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) CompleteLibrary(scens []aging.Scenario) (*liberty.Merged, error) {
-	return f.CompleteLibraryContext(context.Background(), scens)
-}
-
-// CompleteLibraryContext merges the libraries of the given scenarios into
+// CompleteLibrary merges the libraries of the given scenarios into
 // the lambda-indexed complete library (paper Sec. 4.1).
-func (f Flow) CompleteLibraryContext(ctx context.Context, scens []aging.Scenario) (*liberty.Merged, error) {
-	return f.Char.CompleteLibraryContext(ctx, "complete", scens)
+func (f Flow) CompleteLibrary(ctx context.Context, scens []aging.Scenario) (*liberty.Merged, error) {
+	return f.Char.CompleteLibrary(ctx, "complete", scens)
 }
 
 // Benchmark returns the named evaluation circuit as a logic network.
@@ -140,21 +106,11 @@ func Benchmark(name string) (*logic.AIG, error) {
 	return gen(), nil
 }
 
-// Synthesized synthesizes the named benchmark with the given library,
-// using a disk cache keyed by (circuit, library, configuration hash)
-// since the flow is deterministic.
-//
-// Deprecated: use SynthesizedContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) Synthesized(circuit string, lib *liberty.Library) (*netlist.Netlist, error) {
-	return f.SynthesizedContext(context.Background(), circuit, lib)
-}
-
-// SynthesizedContext synthesizes the named benchmark with the given
+// Synthesized synthesizes the named benchmark with the given
 // library, using the disk cache when Char.CacheDir is set. The run is
 // traced under a "core.synthesized" span; cache outcomes count under
 // core.netlist.cache.hits / core.netlist.cache.misses.
-func (f Flow) SynthesizedContext(ctx context.Context, circuit string, lib *liberty.Library) (*netlist.Netlist, error) {
+func (f Flow) Synthesized(ctx context.Context, circuit string, lib *liberty.Library) (*netlist.Netlist, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.synthesized")
 	defer sp.End()
 	sp.SetAttr("circuit", circuit)
@@ -178,7 +134,7 @@ func (f Flow) SynthesizedContext(ctx context.Context, circuit string, lib *liber
 	if err != nil {
 		return nil, err
 	}
-	nl, err := synth.SynthesizeContext(ctx, a, lib, circuit, f.synthConfig())
+	nl, err := synth.Synthesize(ctx, a, lib, circuit, f.synthConfig())
 	if err != nil {
 		return nil, conc.WrapCanceled(err)
 	}
@@ -219,7 +175,7 @@ func storeNetlistCache(path string, nl *netlist.Netlist) error {
 
 // synthConfig is the effective synthesis configuration: the flow's synth
 // knobs with the flow's STA parameters threaded through, so the optimizer
-// times candidates under exactly the conditions CPContext signs off with.
+// times candidates under exactly the conditions CP signs off with.
 // An STA config set explicitly on Synth wins over the flow-level one.
 func (f Flow) synthConfig() synth.Config {
 	cfg := f.Synth
@@ -247,59 +203,31 @@ func (f Flow) netlistCachePath(circuit string, lib *liberty.Library) string {
 		fmt.Sprintf("netl_%s_%s_h%016x.netl", circuit, lib.Name, h.Sum64()))
 }
 
-// SynthesizeTraditional synthesizes the benchmark the conventional way,
-// with the initial (degradation-unaware) library.
-//
-// Deprecated: use SynthesizeTraditionalContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) SynthesizeTraditional(circuit string) (*netlist.Netlist, error) {
-	return f.SynthesizeTraditionalContext(context.Background(), circuit)
-}
-
-// SynthesizeTraditionalContext synthesizes the benchmark the conventional
+// SynthesizeTraditional synthesizes the benchmark the conventional
 // way, with the initial (degradation-unaware) library.
-func (f Flow) SynthesizeTraditionalContext(ctx context.Context, circuit string) (*netlist.Netlist, error) {
-	lib, err := f.FreshLibraryContext(ctx)
+func (f Flow) SynthesizeTraditional(ctx context.Context, circuit string) (*netlist.Netlist, error) {
+	lib, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.SynthesizedContext(ctx, circuit, lib)
+	return f.Synthesized(ctx, circuit, lib)
 }
 
-// SynthesizeAgingAware synthesizes with the worst-case degradation-aware
-// library (paper Sec. 4.3), yielding a netlist that is inherently more
-// resilient to aging, independent of workload.
-//
-// Deprecated: use SynthesizeAgingAwareContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) SynthesizeAgingAware(circuit string) (*netlist.Netlist, error) {
-	return f.SynthesizeAgingAwareContext(context.Background(), circuit)
-}
-
-// SynthesizeAgingAwareContext synthesizes with the worst-case
+// SynthesizeAgingAware synthesizes with the worst-case
 // degradation-aware library (paper Sec. 4.3).
-func (f Flow) SynthesizeAgingAwareContext(ctx context.Context, circuit string) (*netlist.Netlist, error) {
-	lib, err := f.WorstLibraryContext(ctx)
+func (f Flow) SynthesizeAgingAware(ctx context.Context, circuit string) (*netlist.Netlist, error) {
+	lib, err := f.WorstLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return f.SynthesizedContext(ctx, circuit, lib)
+	return f.Synthesized(ctx, circuit, lib)
 }
 
-// CP runs STA and returns the critical-path delay of the netlist under
-// the library.
-//
-// Deprecated: use CPContext. This wrapper uses context.Background and
-// remains for existing callers.
-func (f Flow) CP(nl *netlist.Netlist, lib *liberty.Library) (float64, error) {
-	return f.CPContext(context.Background(), nl, lib)
-}
-
-// CPContext runs STA and returns the critical-path delay of the netlist
+// CP runs STA and returns the critical-path delay of the netlist
 // under the library, recording the analysis in the registry carried by
 // ctx.
-func (f Flow) CPContext(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library) (float64, error) {
-	res, err := sta.AnalyzeContext(ctx, nl, lib, f.STA)
+func (f Flow) CP(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library) (float64, error) {
+	res, err := sta.Analyze(ctx, nl, lib, f.STA)
 	if err != nil {
 		return 0, err
 	}
@@ -316,36 +244,27 @@ type Guardband struct {
 	Guardband float64 // AgedCP - FreshCP [s]
 }
 
-// StaticGuardband estimates the guardband of a netlist under a static
-// aging stress scenario.
-//
-// Deprecated: use StaticGuardbandContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) StaticGuardband(circuit string, nl *netlist.Netlist, s aging.Scenario) (Guardband, error) {
-	return f.StaticGuardbandContext(context.Background(), circuit, nl, s)
-}
-
-// StaticGuardbandContext estimates the guardband of a netlist under a
+// StaticGuardband estimates the guardband of a netlist under a
 // static aging stress scenario, traced under a "core.guardband.static"
 // span.
-func (f Flow) StaticGuardbandContext(ctx context.Context, circuit string, nl *netlist.Netlist, s aging.Scenario) (Guardband, error) {
+func (f Flow) StaticGuardband(ctx context.Context, circuit string, nl *netlist.Netlist, s aging.Scenario) (Guardband, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.guardband.static")
 	defer sp.End()
 	sp.SetAttr("circuit", circuit)
 	sp.SetAttr("scenario", s.String())
-	fresh, err := f.FreshLibraryContext(ctx)
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return Guardband{}, err
 	}
-	aged, err := f.LibraryContext(ctx, s)
+	aged, err := f.Library(ctx, s)
 	if err != nil {
 		return Guardband{}, err
 	}
-	fcp, err := f.CPContext(ctx, nl, fresh)
+	fcp, err := f.CP(ctx, nl, fresh)
 	if err != nil {
 		return Guardband{}, err
 	}
-	acp, err := f.CPContext(ctx, nl, aged)
+	acp, err := f.CP(ctx, nl, aged)
 	if err != nil {
 		return Guardband{}, err
 	}
@@ -356,18 +275,9 @@ func (f Flow) StaticGuardbandContext(ctx context.Context, circuit string, nl *ne
 // specific workload induces (paper Sec. 4.2): simulate the workload,
 // extract per-instance duty cycles, annotate the netlist with lambda
 // indexes, and time it against the complete degradation-aware library.
-//
-// Deprecated: use DynamicGuardbandContext. This wrapper uses
-// context.Background and remains for existing callers.
-func (f Flow) DynamicGuardband(circuit string, nl *netlist.Netlist,
-	stim func(step int) map[string]uint64, steps int) (Guardband, *netlist.Netlist, error) {
-	return f.DynamicGuardbandContext(context.Background(), circuit, nl, stim, steps)
-}
-
-// DynamicGuardbandContext is DynamicGuardband with cancellation (the
-// scenario fan-out behind the complete library dominates the cost and is
-// fully cancelable) and a "core.guardband.dynamic" trace span.
-func (f Flow) DynamicGuardbandContext(ctx context.Context, circuit string, nl *netlist.Netlist,
+// The scenario fan-out behind the complete library dominates the cost
+// and is fully cancelable; traced as "core.guardband.dynamic".
+func (f Flow) DynamicGuardband(ctx context.Context, circuit string, nl *netlist.Netlist,
 	stim func(step int) map[string]uint64, steps int) (Guardband, *netlist.Netlist, error) {
 
 	ctx, sp := obs.StartSpan(ctx, "core.guardband.dynamic")
@@ -390,19 +300,19 @@ func (f Flow) DynamicGuardbandContext(ctx context.Context, circuit string, nl *n
 		return Guardband{}, nil, err
 	}
 	sp.SetAttr("scenarios", len(scens))
-	merged, err := f.CompleteLibraryContext(ctx, scens)
+	merged, err := f.CompleteLibrary(ctx, scens)
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	fresh, err := f.FreshLibraryContext(ctx)
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	fcp, err := f.CPContext(ctx, nl, fresh)
+	fcp, err := f.CP(ctx, nl, fresh)
 	if err != nil {
 		return Guardband{}, nil, err
 	}
-	acp, err := f.CPContext(ctx, ann, &merged.Library)
+	acp, err := f.CP(ctx, ann, &merged.Library)
 	if err != nil {
 		return Guardband{}, nil, err
 	}

@@ -47,52 +47,38 @@ type ImageOutcome struct {
 	Out   *image.Gray
 }
 
-// ImageStudy runs the DCT-IDCT chain on the image for every case and
-// returns the reconstructed images with their PSNR versus the original.
-//
-// Following the paper, the clock is fixed for all cases at the maximum
-// performance of the traditionally synthesized circuits in the absence of
-// aging, so neither design gets a guardband; quality loss then directly
-// reflects sensitized timing errors in the aged gate-level simulation.
-//
-// Deprecated: use ImageStudyContext. This wrapper uses context.Background
-// and remains for existing callers.
-func (f Flow) ImageStudy(img *image.Gray, cases []ImageCase) ([]ImageOutcome, error) {
-	return f.ImageStudyContext(context.Background(), img, cases)
-}
-
-// ImageStudyContext is ImageStudy with cancellation (checked between
+// ctx cancellation is honored throughout (checked between
 // cases, each of which is a full gate-level image simulation) and a
 // "core.imagestudy" trace span.
-func (f Flow) ImageStudyContext(ctx context.Context, img *image.Gray, cases []ImageCase) ([]ImageOutcome, error) {
+func (f Flow) ImageStudy(ctx context.Context, img *image.Gray, cases []ImageCase) ([]ImageOutcome, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.imagestudy")
 	defer sp.End()
 	sp.SetAttr("cases", len(cases))
-	fresh, err := f.FreshLibraryContext(ctx)
+	fresh, err := f.FreshLibrary(ctx)
 	if err != nil {
 		return nil, err
 	}
-	dctTrad, err := f.SynthesizeTraditionalContext(ctx, "DCT")
+	dctTrad, err := f.SynthesizeTraditional(ctx, "DCT")
 	if err != nil {
 		return nil, err
 	}
-	idctTrad, err := f.SynthesizeTraditionalContext(ctx, "IDCT")
+	idctTrad, err := f.SynthesizeTraditional(ctx, "IDCT")
 	if err != nil {
 		return nil, err
 	}
-	dctAware, err := f.SynthesizeAgingAwareContext(ctx, "DCT")
+	dctAware, err := f.SynthesizeAgingAware(ctx, "DCT")
 	if err != nil {
 		return nil, err
 	}
-	idctAware, err := f.SynthesizeAgingAwareContext(ctx, "IDCT")
+	idctAware, err := f.SynthesizeAgingAware(ctx, "IDCT")
 	if err != nil {
 		return nil, err
 	}
-	cpDCT, err := f.CPContext(ctx, dctTrad, fresh)
+	cpDCT, err := f.CP(ctx, dctTrad, fresh)
 	if err != nil {
 		return nil, err
 	}
-	cpIDCT, err := f.CPContext(ctx, idctTrad, fresh)
+	cpIDCT, err := f.CP(ctx, idctTrad, fresh)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +92,7 @@ func (f Flow) ImageStudyContext(ctx context.Context, img *image.Gray, cases []Im
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: image study canceled before case %s: %w", c.Label, conc.WrapCanceled(err))
 		}
-		lib, err := f.LibraryContext(ctx, c.Scenario)
+		lib, err := f.Library(ctx, c.Scenario)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +122,7 @@ func (f Flow) ImageStudyContext(ctx context.Context, img *image.Gray, cases []Im
 func (f Flow) circuitTransform(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library,
 	period float64, inPrefix, outPrefix string) (image.Transform1DBatch, error) {
 
-	res, err := sta.AnalyzeContext(ctx, nl, lib, f.STA)
+	res, err := sta.Analyze(ctx, nl, lib, f.STA)
 	if err != nil {
 		return nil, err
 	}

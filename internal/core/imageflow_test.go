@@ -16,15 +16,15 @@ import (
 // validating the whole netlist+timing+pipeline plumbing end to end.
 func TestCircuitTransformMatchesFixedPoint(t *testing.T) {
 	f := Default()
-	lib, err := f.FreshLibrary()
+	lib, err := f.FreshLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := f.SynthesizeTraditional("DCT")
+	nl, err := f.SynthesizeTraditional(context.Background(), "DCT")
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sta.Analyze(nl, lib, f.STA)
+	res, err := sta.Analyze(context.Background(), nl, lib, f.STA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,15 +76,15 @@ func fixedDCT(m [8][8]int64, x [8]int64) [8]int64 {
 // the Fig. 6c study.
 func TestCircuitTransformErrsWhenOverclocked(t *testing.T) {
 	f := Default()
-	lib, err := f.FreshLibrary()
+	lib, err := f.FreshLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl, err := f.SynthesizeTraditional("DCT")
+	nl, err := f.SynthesizeTraditional(context.Background(), "DCT")
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sta.Analyze(nl, lib, f.STA)
+	res, err := sta.Analyze(context.Background(), nl, lib, f.STA)
 	if err != nil {
 		t.Fatal(err)
 	}

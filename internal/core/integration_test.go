@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestFig5Shapes(t *testing.T) {
 	f := Default()
 	circuits := []string{"RISC-5P", "VLIW"}
 
-	a, err := f.Fig5a(circuits)
+	a, err := f.Fig5a(context.Background(), circuits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestFig5Shapes(t *testing.T) {
 		}
 	}
 
-	b, err := f.Fig5b(circuits)
+	b, err := f.Fig5b(context.Background(), circuits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestFig5Shapes(t *testing.T) {
 		t.Errorf("Fig5b avg = %+.1f%%, want large overestimation", b.AvgPct)
 	}
 
-	c, err := f.Fig5c(circuits)
+	c, err := f.Fig5c(context.Background(), circuits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFig5Shapes(t *testing.T) {
 // TestFig3Switches asserts the criticality-switch example reproduces.
 func TestFig3Switches(t *testing.T) {
 	f := Default()
-	r, err := f.Fig3PathSwitch()
+	r, err := f.Fig3PathSwitch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFig3Switches(t *testing.T) {
 // amplification.
 func TestFig2Shape(t *testing.T) {
 	f := Default()
-	d, err := f.DelayChangeDistribution()
+	d, err := f.DelayChangeDistribution(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFig2Shape(t *testing.T) {
 // direction: a positive guardband reduction at small area cost.
 func TestContainmentShape(t *testing.T) {
 	f := Default()
-	row, err := f.Containment("VLIW")
+	row, err := f.Containment(context.Background(), "VLIW")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestImageStudyFull(t *testing.T) {
 	}
 	f := Default()
 	img := image.TestImage(48, 48)
-	out, err := f.ImageStudy(img, StandardImageCases())
+	out, err := f.ImageStudy(context.Background(), img, StandardImageCases())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestImageStudyFull(t *testing.T) {
 // reports a bounded result.
 func TestIterativeTighteningBaseline(t *testing.T) {
 	f := Default()
-	row, err := f.IterativeTightening("VLIW")
+	row, err := f.IterativeTightening(context.Background(), "VLIW")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestIterativeTighteningBaseline(t *testing.T) {
 // characterized library.
 func TestLibertyExportOfAgedLibrary(t *testing.T) {
 	f := Default()
-	lib, err := f.WorstLibrary()
+	lib, err := f.WorstLibrary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

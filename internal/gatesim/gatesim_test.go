@@ -2,6 +2,7 @@ package gatesim
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -17,7 +18,7 @@ import (
 
 func testLib(t testing.TB, s aging.Scenario) *liberty.Library {
 	t.Helper()
-	lib, err := char.CachedConfig().Characterize(s)
+	lib, err := char.CachedConfig().Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func timedChain(t *testing.T, n int, lib *liberty.Library) (*netlist.Netlist, *s
 		prev = out
 	}
 	nl.AddInst("rout", "DFF_X1", map[string]string{"D": prev, "CK": netlist.ClockNet, "Q": "q"})
-	res, err := sta.Analyze(nl, lib, sta.Config{})
+	res, err := sta.Analyze(context.Background(), nl, lib, sta.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestTimedAgedSlowerThanFresh(t *testing.T) {
 	fresh := testLib(t, aging.Fresh())
 	aged := testLib(t, aging.WorstCase(10))
 	nl, resF := timedChain(t, 6, fresh)
-	resA, err := sta.Analyze(nl, aged, sta.Config{})
+	resA, err := sta.Analyze(context.Background(), nl, aged, sta.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,9 @@
 //
 // The registry travels through context.Context: commands create one
 // registry per run and install it with With; every layer of the pipeline
-// (spice, char, sta, synth, core) records into obs.From(ctx), so code that
-// is reached through the deprecated non-context entry points degrades
-// gracefully to the process-wide Default registry instead of losing data.
+// (spice, char, sta, synth, core) records into obs.From(ctx), so code
+// handed a bare context degrades gracefully to the process-wide Default
+// registry instead of losing data.
 //
 // Metric names are hierarchical, dot-separated, lowercase:
 // <layer>.<noun>[.<verb-or-unit>] — e.g. spice.newton.iterations,
@@ -48,9 +48,8 @@ func NewRegistry() *Registry {
 	}
 }
 
-// Default is the process-wide registry used when a context carries none —
-// the landing place for code reached through deprecated non-context entry
-// points.
+// Default is the process-wide registry used when a context carries
+// none, so recording never needs a nil check.
 var Default = NewRegistry()
 
 type ctxRegKey struct{}

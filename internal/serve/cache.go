@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+
+	"ageguard/internal/conc"
+	"ageguard/internal/obs"
+)
+
+// cache is the daemon's bounded in-memory LRU, keyed by namespaced
+// strings ("lib|...", "nl|...", "az|..."), with per-key singleflight:
+// concurrent misses for one key run the fill function once and share
+// its result. Values are immutable once inserted (libraries, netlists,
+// response payloads) or guard their own mutation (analyzerEntry).
+type cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // key -> element holding *entry
+
+	flight conc.Flight[any]
+
+	hits, misses, shared, evictions *obs.Counter
+	size                            *obs.Gauge
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+func newCache(max int, reg *obs.Registry) *cache {
+	if max <= 0 {
+		max = 128
+	}
+	return &cache{
+		max:       max,
+		ll:        list.New(),
+		m:         map[string]*list.Element{},
+		hits:      reg.Counter("serve.cache.hits"),
+		misses:    reg.Counter("serve.cache.misses"),
+		shared:    reg.Counter("serve.cache.shared"),
+		evictions: reg.Counter("serve.cache.evictions"),
+		size:      reg.Gauge("serve.cache.size"),
+	}
+}
+
+// get returns the cached value for key, filling it on miss. Only the
+// singleflight leader runs fill (and counts the miss); callers that
+// joined an in-flight fill count under serve.cache.shared. When the
+// leader dies of its *own* deadline or cancellation while this caller's
+// ctx is still live, the work is retried under this ctx instead of
+// inheriting the foreign error — a client with a short deadline must
+// not poison the fill for everyone queued behind it.
+func (c *cache) get(ctx context.Context, key string, fill func(context.Context) (any, error)) (any, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.m[key]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			c.hits.Inc()
+			return v, nil
+		}
+		c.mu.Unlock()
+
+		led := false
+		v, err := c.flight.Do(ctx, key, func() (any, error) {
+			led = true
+			c.misses.Inc()
+			v, err := fill(ctx)
+			if err != nil {
+				return nil, err
+			}
+			c.put(key, v)
+			return v, nil
+		})
+		if err == nil {
+			if !led {
+				c.shared.Inc()
+			}
+			return v, nil
+		}
+		if ctx.Err() == nil && !led &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, conc.ErrCanceled)) {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// put inserts (or refreshes) an entry, evicting from the cold end past
+// capacity.
+func (c *cache) put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&entry{key: key, val: v})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*entry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(float64(c.ll.Len()))
+}
+
+// len reports the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ageguard/internal/obs"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2, obs.NewRegistry())
+	ctx := context.Background()
+	fill := func(v string) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) { return v, nil }
+	}
+	for _, k := range []string{"a", "b", "c"} { // c evicts a
+		if _, err := c.get(ctx, k, fill(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	refilled := false
+	v, err := c.get(ctx, "a", func(context.Context) (any, error) {
+		refilled = true
+		return "a2", nil
+	})
+	if err != nil || !refilled || v != "a2" {
+		t.Errorf("evicted key not refilled: v=%v refilled=%v err=%v", v, refilled, err)
+	}
+	// Refilling "a" evicted "b" (the cold end); "c" must still be resident.
+	if _, err := c.get(ctx, "c", func(context.Context) (any, error) {
+		t.Error("c should still be resident")
+		return "c2", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(ctx, "b", fill("b")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheSingleflightHerd(t *testing.T) {
+	// 100 goroutines miss the same key at once: the fill must run exactly
+	// once and every caller must observe its value.
+	c := newCache(8, obs.NewRegistry())
+	ctx := context.Background()
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, 100)
+	vals := make([]any, 100)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			vals[i], errs[i] = c.get(ctx, "k", func(context.Context) (any, error) {
+				fills.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the herd window
+				return "shared", nil
+			})
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil || vals[i] != "shared" {
+			t.Fatalf("caller %d: v=%v err=%v", i, vals[i], errs[i])
+		}
+	}
+	if n := fills.Load(); n != 1 {
+		t.Errorf("fill ran %d times, want 1", n)
+	}
+	if h := c.hits.Value() + c.shared.Value(); h != 99 {
+		t.Errorf("hits+shared = %d, want 99", h)
+	}
+}
+
+func TestCacheLeaderDeadlineDoesNotPoisonFollowers(t *testing.T) {
+	// The leader's own short deadline kills its fill; a follower with a
+	// live context must retry and succeed, not inherit the foreign error.
+	c := newCache(8, obs.NewRegistry())
+	shortCtx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+
+	entered := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.get(shortCtx, "k", func(ctx context.Context) (any, error) {
+			close(entered)
+			<-ctx.Done() // simulate work that honors cancellation
+			return nil, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	var followerFilled atomic.Bool
+	v, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+		followerFilled.Store(true)
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("follower: v=%v err=%v", v, err)
+	}
+	if !followerFilled.Load() {
+		t.Error("follower did not take over the fill")
+	}
+	if err := <-leaderDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("leader error = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCacheFillErrorNotCached(t *testing.T) {
+	c := newCache(8, obs.NewRegistry())
+	ctx := context.Background()
+	boom := fmt.Errorf("boom")
+	if _, err := c.get(ctx, "k", func(context.Context) (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.get(ctx, "k", func(context.Context) (any, error) { return "fine", nil })
+	if err != nil || v != "fine" {
+		t.Errorf("retry after failure: v=%v err=%v", v, err)
+	}
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/core"
+	"ageguard/internal/liberty"
+	"ageguard/internal/netlist"
+	"ageguard/internal/sta"
+	"ageguard/pkg/ageguard/api"
+)
+
+// resolveScenario maps the wire scenario onto an aging.Scenario. A zero
+// Years defaults to the flow lifetime.
+func (s *Server) resolveScenario(a api.Scenario) (aging.Scenario, error) {
+	years := a.Years
+	if years == 0 {
+		years = s.cfg.Flow.Lifetime
+	}
+	if years < 0 {
+		return aging.Scenario{}, badRequest("negative lifetime %g", years)
+	}
+	switch a.Kind {
+	case "fresh":
+		return aging.Fresh(), nil
+	case "worst":
+		return aging.WorstCase(years), nil
+	case "balance":
+		return aging.BalanceCase(years), nil
+	case "duty":
+		if a.LambdaP < 0 || a.LambdaP > 1 || a.LambdaN < 0 || a.LambdaN > 1 {
+			return aging.Scenario{}, badRequest("duty cycles (%g, %g) outside [0, 1]",
+				a.LambdaP, a.LambdaN)
+		}
+		return aging.WorstCase(years).WithLambda(a.LambdaP, a.LambdaN), nil
+	default:
+		return aging.Scenario{}, badRequest(
+			"unknown scenario kind %q (want fresh, worst, balance or duty)", a.Kind)
+	}
+}
+
+// checkCircuit validates a benchmark name without building it.
+func checkCircuit(name string) error {
+	if !slices.Contains(core.BenchmarkCircuits(), name) {
+		return notFound("unknown circuit %q", name)
+	}
+	return nil
+}
+
+// library returns the characterized library for a scenario through the
+// LRU; misses run the characterization (or the disk-cache load) once
+// per key.
+func (s *Server) library(ctx context.Context, sc aging.Scenario) (*liberty.Library, error) {
+	key := "lib|" + s.cfgHash + "|" + sc.Key()
+	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
+		return s.cfg.Flow.Library(ctx, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*liberty.Library), nil
+}
+
+// netlist returns the traditionally synthesized netlist for a circuit
+// through the LRU.
+func (s *Server) netlist(ctx context.Context, circuit string) (*netlist.Netlist, error) {
+	key := "nl|" + s.cfgHash + "|" + circuit
+	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
+		return s.cfg.Flow.SynthesizeTraditional(ctx, circuit)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*netlist.Netlist), nil
+}
+
+// analyzerEntry wraps a compiled sta.Analyzer for shared use: the
+// engine's lazy traceback mutates internal state, so every read goes
+// through the entry mutex.
+type analyzerEntry struct {
+	mu sync.Mutex
+	az *sta.Analyzer
+}
+
+func (e *analyzerEntry) cp() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.az.CP()
+}
+
+// analyzer returns the compiled timing engine for (circuit, scenario)
+// through the LRU: topology compilation and the forward pass happen
+// once; warm queries only read the precomputed critical path.
+func (s *Server) analyzer(ctx context.Context, circuit string, sc aging.Scenario) (*analyzerEntry, error) {
+	key := "az|" + s.cfgHash + "|" + circuit + "|" + sc.Key()
+	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
+		nl, err := s.netlist(ctx, circuit)
+		if err != nil {
+			return nil, err
+		}
+		lib, err := s.library(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		az, err := sta.NewAnalyzer(ctx, nl, lib, s.cfg.Flow.STA)
+		if err != nil {
+			return nil, err
+		}
+		return &analyzerEntry{az: az}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*analyzerEntry), nil
+}
+
+// guardband answers POST /v1/guardband: fresh and aged critical paths
+// of a traditionally synthesized circuit, and their difference.
+func (s *Server) guardband(ctx context.Context, req *api.GuardbandRequest) (any, error) {
+	if err := checkVersion(req.Version); err != nil {
+		return nil, err
+	}
+	if err := checkCircuit(req.Circuit); err != nil {
+		return nil, err
+	}
+	sc, err := s.resolveScenario(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := s.analyzer(ctx, req.Circuit, aging.Fresh())
+	if err != nil {
+		return nil, fmt.Errorf("fresh analysis: %w", err)
+	}
+	aged, err := s.analyzer(ctx, req.Circuit, sc)
+	if err != nil {
+		return nil, fmt.Errorf("aged analysis: %w", err)
+	}
+	fcp, acp := fresh.cp(), aged.cp()
+	resp := api.GuardbandResponse{
+		Version:    api.APIVersion,
+		Circuit:    req.Circuit,
+		Scenario:   req.Scenario,
+		FreshCPs:   fcp,
+		AgedCPs:    acp,
+		GuardbandS: acp - fcp,
+	}
+	if fcp > 0 {
+		resp.GuardbandPct = 100 * (acp - fcp) / fcp
+	}
+	return resp, nil
+}
+
+// cellTiming answers POST /v1/celltiming: every arc of one cell
+// interpolated at the queried (input slew, output load) point.
+func (s *Server) cellTiming(ctx context.Context, req *api.CellTimingRequest) (any, error) {
+	if err := checkVersion(req.Version); err != nil {
+		return nil, err
+	}
+	if req.InSlewS <= 0 || req.LoadF <= 0 {
+		return nil, badRequest("in_slew_s and load_f must be positive (got %g, %g)",
+			req.InSlewS, req.LoadF)
+	}
+	sc, err := s.resolveScenario(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := s.library(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	ct, ok := lib.Cell(req.Cell)
+	if !ok {
+		return nil, notFound("unknown cell %q in library %s", req.Cell, lib.Name)
+	}
+	resp := api.CellTimingResponse{
+		Version: api.APIVersion,
+		Cell:    req.Cell,
+		Library: lib.Name,
+	}
+	for _, arc := range ct.Arcs {
+		for _, edge := range []liberty.Edge{liberty.Rise, liberty.Fall} {
+			if arc.Delay[edge] == nil {
+				continue
+			}
+			resp.Arcs = append(resp.Arcs, api.ArcTiming{
+				Pin:      arc.Pin,
+				Edge:     edge.String(),
+				DelayS:   arc.Delay[edge].At(req.InSlewS, req.LoadF),
+				OutSlewS: arc.OutSlew[edge].At(req.InSlewS, req.LoadF),
+			})
+		}
+	}
+	return resp, nil
+}
+
+// grid answers POST /v1/grid: the full 11x11 duty-cycle guardband grid
+// of a circuit. The whole response is one LRU value — it is by far the
+// most expensive query (121 libraries) and perfectly reusable.
+func (s *Server) grid(ctx context.Context, req *api.GridRequest) (any, error) {
+	if err := checkVersion(req.Version); err != nil {
+		return nil, err
+	}
+	if err := checkCircuit(req.Circuit); err != nil {
+		return nil, err
+	}
+	years := req.Years
+	if years == 0 {
+		years = s.cfg.Flow.Lifetime
+	}
+	if years < 0 {
+		return nil, badRequest("negative lifetime %g", years)
+	}
+	key := fmt.Sprintf("grid|%s|%s|%g", s.cfgHash, req.Circuit, years)
+	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
+		fl := s.cfg.Flow
+		fl.Lifetime = years
+		g, err := fl.GuardbandGridFor(ctx, req.Circuit)
+		if err != nil {
+			return nil, err
+		}
+		_, _, worst := g.Worst()
+		return api.GridResponse{
+			Version:         api.APIVersion,
+			Circuit:         req.Circuit,
+			Years:           years,
+			FreshCPs:        g.FreshCP,
+			Lambdas:         g.Lambdas,
+			AgedCPs:         g.AgedCP,
+			WorstGuardbandS: worst,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(api.GridResponse), nil
+}
+
+// paths answers POST /v1/paths: the K most critical paths of a circuit
+// under a scenario. The traceback result is cached whole, keyed by K.
+func (s *Server) paths(ctx context.Context, req *api.PathsRequest) (any, error) {
+	if err := checkVersion(req.Version); err != nil {
+		return nil, err
+	}
+	if err := checkCircuit(req.Circuit); err != nil {
+		return nil, err
+	}
+	k := req.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > 100 {
+		return nil, badRequest("k = %d too large (max 100)", k)
+	}
+	sc, err := s.resolveScenario(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("paths|%s|%s|%s|%d", s.cfgHash, req.Circuit, sc.Key(), k)
+	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
+		nl, err := s.netlist(ctx, req.Circuit)
+		if err != nil {
+			return nil, err
+		}
+		lib, err := s.library(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := sta.TopPaths(ctx, nl, lib, s.cfg.Flow.STA, k)
+		if err != nil {
+			return nil, err
+		}
+		resp := api.PathsResponse{Version: api.APIVersion, Circuit: req.Circuit}
+		for _, p := range ps {
+			ap := api.Path{
+				Launch:   p.Launch,
+				Endpoint: p.Endpoint,
+				EndEdge:  p.EndEdge.String(),
+				DelayS:   p.Delay,
+				SetupS:   p.Setup,
+			}
+			for _, st := range p.Steps {
+				ap.Steps = append(ap.Steps, api.PathStep{
+					Inst:     st.Inst,
+					Cell:     st.Cell,
+					Pin:      st.Pin,
+					InEdge:   st.InEdge.String(),
+					OutEdge:  st.OutEdge.String(),
+					DelayS:   st.Delay,
+					ArrivalS: st.Arrival,
+				})
+			}
+			resp.Paths = append(resp.Paths, ap)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(api.PathsResponse), nil
+}

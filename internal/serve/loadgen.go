@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ageguard/internal/obs"
+	"ageguard/pkg/ageguard/api"
+	"ageguard/pkg/ageguard/client"
+)
+
+// LoadgenConfig parameterizes the self-benchmark mode (ageguardd
+// -loadgen): the daemon is started in-process on a loopback listener
+// and measured over real HTTP.
+type LoadgenConfig struct {
+	Requests    int    // warm-phase request count (default 200)
+	Concurrency int    // concurrent clients (default 4)
+	Circuit     string // benchmark circuit queried (default "RISC-5P")
+	Out         string // report path ("" = don't write)
+}
+
+func (lg *LoadgenConfig) fill() {
+	if lg.Requests <= 0 {
+		lg.Requests = 200
+	}
+	if lg.Concurrency <= 0 {
+		lg.Concurrency = 4
+	}
+	if lg.Circuit == "" {
+		lg.Circuit = "RISC-5P"
+	}
+}
+
+// BenchReport is the BENCH_PR7.json shape: the cold first query (the
+// same work a cold guardband CLI invocation performs — characterize,
+// synthesize, compile, analyze) against the warm-cache latency
+// distribution of the identical query.
+type BenchReport struct {
+	Bench     string `json:"bench"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+
+	Circuit     string `json:"circuit"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+
+	// ColdFirstQueryS is the first guardband query against empty
+	// in-memory caches; disk caches are whatever the configured cache
+	// directory holds, exactly as for a CLI run on the same checkout.
+	ColdFirstQueryS float64 `json:"cold_first_query_s"`
+
+	WarmP50s  float64 `json:"warm_p50_s"`
+	WarmP99s  float64 `json:"warm_p99_s"`
+	WarmMeanS float64 `json:"warm_mean_s"`
+	WarmQPS   float64 `json:"warm_qps"`
+
+	// SpeedupP99VsCold = ColdFirstQueryS / WarmP99s; the PR7 acceptance
+	// floor is 10.
+	SpeedupP99VsCold float64 `json:"speedup_p99_vs_cold"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheShared  int64   `json:"cache_shared"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Loadgen starts a Server for cfg on a loopback listener, measures one
+// cold guardband query followed by lg.Requests warm queries at
+// lg.Concurrency, writes the report to lg.Out when set and returns it.
+func Loadgen(ctx context.Context, cfg Config, lg LoadgenConfig) (*BenchReport, error) {
+	lg.fill()
+	reg := obs.NewRegistry()
+	s := New(cfg, reg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	// The server's lifetime is managed by stop/done below, not by the
+	// caller's ctx, so the drain stays clean even when ctx is canceled.
+	serveCtx, stop := context.WithCancel(context.WithoutCancel(ctx))
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(serveCtx, ln) }()
+	defer func() {
+		stop()
+		<-done
+	}()
+
+	cl := client.New("http://" + ln.Addr().String())
+	if err := cl.Healthz(ctx); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+
+	req := api.GuardbandRequest{Circuit: lg.Circuit, Scenario: api.Scenario{Kind: "worst"}}
+
+	t0 := time.Now()
+	if _, err := cl.Guardband(ctx, req); err != nil {
+		return nil, fmt.Errorf("cold query: %w", err)
+	}
+	cold := time.Since(t0).Seconds()
+
+	lat := make([]float64, lg.Requests)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	warm0 := time.Now()
+	for w := 0; w < lg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if i >= int64(lg.Requests) {
+					return
+				}
+				q0 := time.Now()
+				_, err := cl.Guardband(ctx, req)
+				lat[i] = time.Since(q0).Seconds()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	warmWall := time.Since(warm0).Seconds()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, fmt.Errorf("warm query: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	snap := reg.Snapshot()
+	hits := snap.Counters["serve.cache.hits"]
+	misses := snap.Counters["serve.cache.misses"]
+	shared := snap.Counters["serve.cache.shared"]
+
+	rep := &BenchReport{
+		Bench:           "PR7",
+		GoVersion:       runtime.Version(),
+		CPUs:            runtime.NumCPU(),
+		Circuit:         lg.Circuit,
+		Requests:        lg.Requests,
+		Concurrency:     lg.Concurrency,
+		ColdFirstQueryS: cold,
+		WarmP50s:        percentile(lat, 50),
+		WarmP99s:        percentile(lat, 99),
+		WarmMeanS:       sum / float64(len(lat)),
+		WarmQPS:         float64(lg.Requests) / warmWall,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheShared:     shared,
+	}
+	if rep.WarmP99s > 0 {
+		rep.SpeedupP99VsCold = cold / rep.WarmP99s
+	}
+	if lookups := hits + misses + shared; lookups > 0 {
+		rep.CacheHitRate = float64(hits) / float64(lookups)
+	}
+
+	if lg.Out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(lg.Out, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}

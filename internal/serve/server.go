@@ -1,0 +1,296 @@
+// Package serve implements ageguardd: an HTTP/JSON daemon answering
+// guardband and timing queries against pre-characterized
+// degradation-aware libraries. The wire types live in pkg/ageguard/api;
+// a typed client in pkg/ageguard/client.
+//
+// The daemon keeps a bounded in-memory LRU of parsed libraries,
+// synthesized netlists and compiled STA analyzers keyed by the
+// characterization config hash, with per-key singleflight so a herd of
+// identical cold queries characterizes once. Admission is a bounded
+// queue: requests beyond the in-flight limit wait in the queue, and
+// requests beyond the queue are rejected immediately with 429 and a
+// Retry-After hint. Every request runs under a deadline that propagates
+// into the per-time-step cancellation checks of the transient solver;
+// an expired deadline reports 504 and leaves no partial cache state
+// (disk caches are written atomically, the in-memory LRU only ever
+// holds completed values). SIGTERM drains: the listener closes, queued
+// and in-flight requests finish, then Run returns.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"ageguard/internal/conc"
+	"ageguard/internal/core"
+	"ageguard/internal/obs"
+	"ageguard/pkg/ageguard/api"
+)
+
+// Config parameterizes the daemon. The zero value of every field picks
+// a sensible default at New.
+type Config struct {
+	// Flow is the design-flow configuration queries are answered with;
+	// its characterization config hash keys every cache entry.
+	Flow core.Flow
+
+	// CacheSize bounds the LRU entry count (default 128).
+	CacheSize int
+
+	// MaxInflight bounds the number of requests doing work concurrently
+	// (default 4). QueueDepth bounds how many more may wait for a work
+	// slot (default 4*MaxInflight); beyond that requests are rejected
+	// with 429 and Retry-After of RetryAfter (default 1s).
+	MaxInflight int
+	QueueDepth  int
+	RetryAfter  time.Duration
+
+	// RequestTimeout is the per-request deadline (default 5m). It
+	// propagates into characterization and STA, whose inner loops check
+	// cancellation every solver time step.
+	RequestTimeout time.Duration
+
+	// DrainTimeout bounds the graceful shutdown (default 2m).
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Minute
+	}
+}
+
+// Server answers guardband queries. Construct with New; all methods are
+// safe for concurrent use.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	cache   *cache
+	cfgHash string
+
+	slots chan struct{} // work slots, cap MaxInflight
+	queue chan struct{} // admission tickets, cap MaxInflight+QueueDepth
+}
+
+// New builds a Server recording its metrics into reg (a fresh registry
+// when nil).
+func New(cfg Config, reg *obs.Registry) *Server {
+	cfg.fill()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   newCache(cfg.CacheSize, reg),
+		cfgHash: fmt.Sprintf("%016x", cfg.Flow.Char.Hash()),
+		slots:   make(chan struct{}, cfg.MaxInflight),
+		queue:   make(chan struct{}, cfg.MaxInflight+cfg.QueueDepth),
+	}
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's routing table: the four /v1 query
+// endpoints plus /healthz, /metrics (text), /metrics.json and
+// /debug/pprof.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/guardband", handleJSON(s, "guardband", s.guardband))
+	mux.Handle("POST /v1/celltiming", handleJSON(s, "celltiming", s.cellTiming))
+	mux.Handle("POST /v1/grid", handleJSON(s, "grid", s.grid))
+	mux.Handle("POST /v1/paths", handleJSON(s, "paths", s.paths))
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.reg.Snapshot().WriteJSON(w)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Run listens on addr and serves until ctx is canceled, then drains
+// gracefully: in-flight and queued requests complete (bounded by
+// DrainTimeout) before Run returns.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run on an existing listener (tests and loadgen bind :0 and
+// read the port back).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	<-errc // always http.ErrServerClosed once Shutdown began
+	return err
+}
+
+// statusError pins an HTTP status to an error. errors.As-visible so
+// handlers can classify bad input vs. internal failures.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &statusError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &statusError{code: http.StatusNotFound, err: fmt.Errorf(format, args...)}
+}
+
+// status maps a handler error to its HTTP status code.
+func status(err error) int {
+	var se *statusError
+	switch {
+	case errors.As(err, &se):
+		return se.code
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, conc.ErrCanceled):
+		// The client went away (or the run was interrupted): nothing
+		// useful to say, but pick a distinguishable code for the logs.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, api.ErrorResponse{Version: api.APIVersion, Error: err.Error()})
+}
+
+// checkVersion rejects requests from a different protocol generation.
+// An empty version is accepted as "current" for curl-friendliness.
+func checkVersion(v string) error {
+	if v != "" && v != api.APIVersion {
+		return badRequest("unsupported api version %q (server speaks %s)", v, api.APIVersion)
+	}
+	return nil
+}
+
+// handleJSON wraps one endpoint with the shared request plumbing:
+// admission (queue ticket or 429), the per-request deadline, body
+// decode, the endpoint duration histogram and the error taxonomy.
+func handleJSON[Req any](s *Server, name string, fn func(ctx context.Context, req *Req) (any, error)) http.Handler {
+	hist := s.reg.Histogram("serve." + name + ".seconds")
+	okc := s.reg.Counter("serve." + name + ".ok")
+	errc := s.reg.Counter("serve." + name + ".err")
+	rejected := s.reg.Counter("serve.rejected")
+	timeouts := s.reg.Counter("serve.timeouts")
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Admission: a queue ticket covers both waiting and working. No
+		// ticket free means the daemon is saturated past its queue — shed
+		// immediately so callers can back off instead of piling on.
+		select {
+		case s.queue <- struct{}{}:
+			defer func() { <-s.queue }()
+		default:
+			rejected.Inc()
+			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests,
+				errors.New("server saturated: admission queue full"))
+			return
+		}
+
+		ctx := obs.With(r.Context(), s.reg)
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+
+		// Wait for a work slot; the deadline keeps queue time bounded.
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			timeouts.Inc()
+			errc.Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				errors.New("deadline expired waiting for a work slot"))
+			return
+		}
+
+		var req Req
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			errc.Inc()
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+
+		t0 := time.Now()
+		resp, err := fn(ctx, &req)
+		hist.Since(t0)
+		if err != nil {
+			code := status(err)
+			if code == http.StatusGatewayTimeout {
+				timeouts.Inc()
+			}
+			errc.Inc()
+			writeError(w, code, err)
+			return
+		}
+		okc.Inc()
+		writeJSON(w, http.StatusOK, resp)
+	})
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"ageguard/pkg/ageguard/api"
+	"ageguard/pkg/ageguard/client"
+)
+
+// SmokeConfig parameterizes the self-check mode (ageguardd -smoke).
+type SmokeConfig struct {
+	Circuit string // benchmark circuit queried (default "RISC-5P")
+}
+
+// Smoke starts a Server for cfg on a loopback listener, issues one
+// query per endpoint (the four POST /v1 endpoints plus the health,
+// metrics and pprof GETs), asserts every one succeeds, then cancels the
+// serve context and asserts the drain is clean. It is the make
+// serve-smoke / CI gate: a fast end-to-end proof that the daemon comes
+// up, answers every route and shuts down without error.
+func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) error {
+	if sm.Circuit == "" {
+		sm.Circuit = "RISC-5P"
+	}
+	s := New(cfg, nil)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// The server's lifetime is managed by stop/done below, not by the
+	// caller's ctx, so the drain stays clean even when ctx is canceled.
+	serveCtx, stop := context.WithCancel(context.WithoutCancel(ctx))
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(serveCtx, ln) }()
+	defer stop()
+
+	base := "http://" + ln.Addr().String()
+	cl := client.New(base)
+	scen := api.Scenario{Kind: "worst"}
+
+	step := func(name string, fn func() error) error {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		lg.Printf("smoke: %-12s ok in %v", name, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+	get := func(path string) func() error {
+		return func() error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+			if err != nil {
+				return err
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			return nil
+		}
+	}
+
+	checks := []struct {
+		name string
+		fn   func() error
+	}{
+		{"healthz", func() error { return cl.Healthz(ctx) }},
+		{"guardband", func() error {
+			resp, err := cl.Guardband(ctx, api.GuardbandRequest{Circuit: sm.Circuit, Scenario: scen})
+			if err != nil {
+				return err
+			}
+			if resp.AgedCPs <= resp.FreshCPs {
+				return fmt.Errorf("implausible CPs: fresh=%g aged=%g", resp.FreshCPs, resp.AgedCPs)
+			}
+			return nil
+		}},
+		{"celltiming", func() error {
+			resp, err := cl.CellTiming(ctx, api.CellTimingRequest{
+				Cell: "INV_X1", Scenario: scen, InSlewS: 20e-12, LoadF: 2e-15,
+			})
+			if err != nil {
+				return err
+			}
+			if len(resp.Arcs) == 0 {
+				return fmt.Errorf("no arcs for INV_X1")
+			}
+			return nil
+		}},
+		{"paths", func() error {
+			resp, err := cl.Paths(ctx, api.PathsRequest{Circuit: sm.Circuit, Scenario: scen, K: 3})
+			if err != nil {
+				return err
+			}
+			if len(resp.Paths) == 0 {
+				return fmt.Errorf("no paths")
+			}
+			return nil
+		}},
+		{"grid", func() error {
+			resp, err := cl.Grid(ctx, api.GridRequest{Circuit: sm.Circuit})
+			if err != nil {
+				return err
+			}
+			if resp.WorstGuardbandS <= 0 {
+				return fmt.Errorf("worst guardband %g not positive", resp.WorstGuardbandS)
+			}
+			return nil
+		}},
+		{"metrics", get("/metrics")},
+		{"metrics.json", get("/metrics.json")},
+		{"pprof", get("/debug/pprof/")},
+	}
+	for _, c := range checks {
+		if err := step(c.name, c.fn); err != nil {
+			return err
+		}
+	}
+
+	stop()
+	if err := <-done; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	lg.Printf("smoke: drain        ok")
+	return nil
+}

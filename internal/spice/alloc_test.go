@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestTransientAllocsPerStep(t *testing.T) {
 
 	var steps int
 	run := func() {
-		res, err := c.Run(tstop, opts)
+		res, err := c.Run(context.Background(), tstop, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -23,7 +23,7 @@ func TestRunContextCanceled(t *testing.T) {
 	reg := obs.NewRegistry()
 	ctx, cancel := context.WithCancel(obs.With(context.Background(), reg))
 	cancel()
-	_, err := c.RunContext(ctx, 100*units.Ps, Options{MaxStep: 0.2 * units.Ps})
+	_, err := c.Run(ctx, 100*units.Ps, Options{MaxStep: 0.2 * units.Ps})
 	if err == nil {
 		t.Fatal("canceled transient returned nil error")
 	}
@@ -54,7 +54,7 @@ func TestRunContextMetrics(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	ctx := obs.With(context.Background(), reg)
-	if _, err := c.RunContext(ctx, 100*units.Ps, Options{MaxStep: 0.2 * units.Ps}); err != nil {
+	if _, err := c.Run(ctx, 100*units.Ps, Options{MaxStep: 0.2 * units.Ps}); err != nil {
 		t.Fatal(err)
 	}
 	if n := reg.Counter("spice.transients").Value(); n != 1 {

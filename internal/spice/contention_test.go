@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func nandRiseDelay(t *testing.T, slew, load float64, degP, degN func(device.Para
 	c.Drive(b, DC(vdd))
 	t0 := 200 * units.Ps
 	c.Drive(a, Ramp{T0: t0, Slew: slew, V0: vdd, V1: 0})
-	res, err := c.Run(t0+slew+3*units.Ns, Options{})
+	res, err := c.Run(context.Background(), t0+slew+3*units.Ns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestShortCircuitCurrentExists(t *testing.T) {
 	t0 := 100 * units.Ps
 	slew := 900 * units.Ps
 	c.Drive(a, Ramp{T0: t0, Slew: slew, V0: vdd, V1: 0})
-	res, err := c.Run(t0+slew+1*units.Ns, Options{})
+	res, err := c.Run(context.Background(), t0+slew+1*units.Ns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestInitVRespected(t *testing.T) {
 	c := New(vdd)
 	n := c.Node("fl")
 	c.C(n, c.Gnd(), 1*units.FF)
-	res, err := c.Run(10*units.Ps, Options{
+	res, err := c.Run(context.Background(), 10*units.Ps, Options{
 		InitV: func(name string) (float64, bool) {
 			if name == "fl" {
 				return 0.7, true

@@ -42,7 +42,7 @@ func (f FailureClass) String() string {
 	}
 }
 
-// Classify maps an error returned by RunContext or RunRetryContext onto
+// Classify maps an error returned by Run or RunRetry onto
 // its failure class, looking through any number of %w wrapping layers.
 func Classify(err error) FailureClass {
 	switch {
@@ -79,19 +79,14 @@ func (o Options) escalate(tstop float64, rung int) Options {
 	return e
 }
 
-// RunRetry is RunRetryContext with a background context (never canceled).
-func (c *Circuit) RunRetry(tstop float64, opts Options, retries int) (*Result, error) {
-	return c.RunRetryContext(context.Background(), tstop, opts, retries)
-}
-
-// RunRetryContext performs a transient analysis with a non-convergence
+// RunRetry performs a transient analysis with a non-convergence
 // escalation ladder: the first attempt runs with opts as given; each of
 // up to `retries` further attempts re-runs the whole transient with
 // progressively conservative options (see escalate). Only convergence
 // failures climb the ladder — cancellations and deterministic errors
-// return immediately. retries <= 0 behaves exactly like RunContext.
+// return immediately. retries <= 0 behaves exactly like Run.
 //
-// Solver effort is recorded per attempt as in RunContext; additionally
+// Solver effort is recorded per attempt as in Run; additionally
 // spice.retry.attempts counts ladder re-runs, spice.retry.recovered
 // counts transients rescued by a later rung, and spice.retry.exhausted
 // counts transients that failed even at the most conservative rung.
@@ -100,7 +95,7 @@ func (c *Circuit) RunRetry(tstop float64, opts Options, retries int) (*Result, e
 // program is compiled once on the first rung and every later rung reuses
 // it (and all solver scratch), so climbing the ladder allocates nothing
 // beyond the per-attempt result arena.
-func (c *Circuit) RunRetryContext(ctx context.Context, tstop float64, opts Options, retries int) (*Result, error) {
+func (c *Circuit) RunRetry(ctx context.Context, tstop float64, opts Options, retries int) (*Result, error) {
 	if retries < 0 {
 		retries = 0
 	}

@@ -82,7 +82,7 @@ func TestRetryRecovers(t *testing.T) {
 			return nil
 		},
 	}
-	res, err := ckt.RunRetryContext(ctx, units.Ns, opts, 3)
+	res, err := ckt.RunRetry(ctx, units.Ns, opts, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestRetryExhausted(t *testing.T) {
 		MaxStep:   25 * units.Ps,
 		FaultHook: func(int) error { return ErrNoConvergence },
 	}
-	_, err := ckt.RunRetryContext(ctx, units.Ns, opts, 2)
+	_, err := ckt.RunRetry(ctx, units.Ns, opts, 2)
 	if !errors.Is(err, ErrNoConvergence) {
 		t.Fatalf("got %v, want ErrNoConvergence", err)
 	}
@@ -140,7 +140,7 @@ func TestRetryZeroBehavesLikeRun(t *testing.T) {
 		MaxStep:   25 * units.Ps,
 		FaultHook: func(int) error { calls++; return ErrNoConvergence },
 	}
-	_, err := ckt.RunRetry(units.Ns, opts, 0)
+	_, err := ckt.RunRetry(context.Background(), units.Ns, opts, 0)
 	if !errors.Is(err, ErrNoConvergence) {
 		t.Fatalf("got %v, want ErrNoConvergence", err)
 	}
@@ -159,7 +159,7 @@ func TestNoRetryOnOtherFailure(t *testing.T) {
 		MaxStep:   25 * units.Ps,
 		FaultHook: func(int) error { calls++; return boom },
 	}
-	_, err := ckt.RunRetry(units.Ns, opts, 3)
+	_, err := ckt.RunRetry(context.Background(), units.Ns, opts, 3)
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want the injected error", err)
 	}
@@ -179,7 +179,7 @@ func TestNoRetryOnCancel(t *testing.T) {
 		MaxStep:   25 * units.Ps,
 		FaultHook: func(int) error { calls++; return nil },
 	}
-	_, err := ckt.RunRetryContext(ctx, units.Ns, opts, 3)
+	_, err := ckt.RunRetry(ctx, units.Ns, opts, 3)
 	if Classify(err) != FailCanceled {
 		t.Fatalf("got %v (class %v), want a canceled-class error", err, Classify(err))
 	}

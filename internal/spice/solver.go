@@ -27,7 +27,7 @@ import (
 //
 // Solver state is recycled through a sync.Pool (spice.pool.{hits,misses}).
 // The pool is safe under the package's concurrency contract: each
-// RunContext/RunRetryContext call owns its solver exclusively between
+// Run/RunRetry call owns its solver exclusively between
 // acquire and release, and the retry ladder reuses one solver — including
 // its compiled stamps — across all rungs.
 

@@ -181,7 +181,7 @@ type Options struct {
 
 	// FaultHook, when non-nil, is consulted at the start of every
 	// transient attempt with the escalation-ladder rung (0 = first try,
-	// see RunRetryContext). A non-nil return aborts the attempt with that
+	// see RunRetry). A non-nil return aborts the attempt with that
 	// error exactly as if the solver had failed. It is a deterministic
 	// fault-injection seam for exercising retry/salvage/resume paths in
 	// tests; production configurations leave it nil.
@@ -197,7 +197,7 @@ type Options struct {
 	// regressions after compact-model changes. Default false (analytic).
 	FiniteDiffJacobian bool
 
-	attempt int // escalation-ladder rung, set by RunRetryContext
+	attempt int // escalation-ladder rung, set by RunRetry
 }
 
 func (o *Options) fill(tstop float64) {
@@ -237,13 +237,7 @@ func (r *Result) Voltage(i int, n NodeID) float64 { return r.v[i*r.nn+int(n)] }
 // minimum time step.
 var ErrNoConvergence = errors.New("spice: newton iteration did not converge")
 
-// Run performs a transient analysis from t=0 to tstop. It is RunContext
-// with a background context (never canceled).
-func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
-	return c.RunContext(context.Background(), tstop, opts)
-}
-
-// RunContext performs a transient analysis from t=0 to tstop. The circuit
+// Run performs a transient analysis from t=0 to tstop. The circuit
 // is first settled: a DC-like relaxation with all waveforms held at their
 // t=0 values, so feedback structures (latches) reach a consistent state
 // before time begins.
@@ -253,7 +247,7 @@ func (c *Circuit) Run(tstop float64, opts Options) (*Result, error) {
 // conc.ErrCanceled and the context's own error. Solver effort (accepted
 // and rejected steps, Newton iterations, wall time) is recorded into the
 // metrics registry carried by ctx (obs.From).
-func (c *Circuit) RunContext(ctx context.Context, tstop float64, opts Options) (*Result, error) {
+func (c *Circuit) Run(ctx context.Context, tstop float64, opts Options) (*Result, error) {
 	reg := obs.From(ctx)
 	s := acquireSolver(reg)
 	defer s.release()

@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -34,7 +35,7 @@ func TestRCStepResponse(t *testing.T) {
 	out := c.Node("out")
 	c.R(in, out, 1000)
 	c.C(out, c.Gnd(), 10*units.FF)
-	res, err := c.Run(100*units.Ps, Options{MaxStep: 0.2 * units.Ps})
+	res, err := c.Run(context.Background(), 100*units.Ps, Options{MaxStep: 0.2 * units.Ps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRCStepResponse(t *testing.T) {
 func TestInverterStatic(t *testing.T) {
 	c, in, out := inverter(2*units.FF, 0, 1, 0, 1)
 	c.Drive(in, DC(0))
-	res, err := c.Run(500*units.Ps, Options{})
+	res, err := c.Run(context.Background(), 500*units.Ps, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestInverterStatic(t *testing.T) {
 	}
 	c2, in2, out2 := inverter(2*units.FF, 0, 1, 0, 1)
 	c2.Drive(in2, DC(vdd))
-	res2, err := c2.Run(500*units.Ps, Options{})
+	res2, err := c2.Run(context.Background(), 500*units.Ps, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func invDelay(t *testing.T, load, slew float64, dvthP, muP, dvthN, muN float64) 
 	c, in, out := inverter(load, dvthP, muP, dvthN, muN)
 	t0 := 200 * units.Ps
 	c.Drive(in, Ramp{T0: t0, Slew: slew, V0: 0, V1: vdd})
-	res, err := c.Run(t0+slew+3*units.Ns, Options{})
+	res, err := c.Run(context.Background(), t0+slew+3*units.Ns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestOutputSlewMeasurement(t *testing.T) {
 	c, in, out := inverter(10*units.FF, 0, 1, 0, 1)
 	t0 := 100 * units.Ps
 	c.Drive(in, Ramp{T0: t0, Slew: 20 * units.Ps, V0: 0, V1: vdd})
-	res, err := c.Run(t0+4*units.Ns, Options{})
+	res, err := c.Run(context.Background(), t0+4*units.Ns, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestTransmissionGatePassesBothRails(t *testing.T) {
 		c.MOS(nm, out, c.Vdd(), src) // nMOS gate high
 		c.MOS(pm, out, c.Gnd(), src) // pMOS gate low
 		c.C(out, c.Gnd(), 1*units.FF)
-		res, err := c.Run(2*units.Ns, Options{})
+		res, err := c.Run(context.Background(), 2*units.Ns, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +235,7 @@ func TestConcurrentIndependentCircuits(t *testing.T) {
 	simulate := func(load float64) (float64, error) {
 		c, in, out := inverter(load, 0.03, 0.9, 0.02, 0.95)
 		c.Drive(in, Ramp{T0: 50 * units.Ps, Slew: 100 * units.Ps, V0: 0, V1: vdd})
-		res, err := c.Run(2*units.Ns, Options{MaxStep: 25 * units.Ps})
+		res, err := c.Run(context.Background(), 2*units.Ns, Options{MaxStep: 25 * units.Ps})
 		if err != nil {
 			return 0, err
 		}

@@ -601,7 +601,7 @@ func (a *Analyzer) CP() float64 { return a.s.cp }
 
 // Result materializes the full analysis result (arrivals, slews, loads,
 // required times, slacks and the worst path) for the current netlist
-// state. The result is bit-identical to a fresh AnalyzeContext of the
+// state. The result is bit-identical to a fresh Analyze of the
 // same netlist and cached until the next mutation; treat it as read-only.
 func (a *Analyzer) Result() *Result {
 	if a.res == nil {

@@ -142,7 +142,7 @@ func TestAnalyzeContextMatchesReference(t *testing.T) {
 	nls := []*netlist.Netlist{chain(2), chain(6), randNetlist(rng, 40), randNetlist(rng, 150)}
 	for _, l := range libs {
 		for _, nl := range nls {
-			got, err := AnalyzeContext(context.Background(), nl, l, Config{})
+			got, err := Analyze(context.Background(), nl, l, Config{})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", nl.Name, l.Name, err)
 			}
@@ -155,7 +155,7 @@ func TestAnalyzeContextMatchesReference(t *testing.T) {
 	}
 	// Non-default config too (the synthesis threading depends on it).
 	cfg := Config{OutputLoad: 12 * units.FF, WireCap: 1 * units.FF, InputSlew: 35 * units.Ps}
-	got, err := AnalyzeContext(context.Background(), nls[3], libs[0], cfg)
+	got, err := Analyze(context.Background(), nls[3], libs[0], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestAnalyzeBatchMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	nl := randNetlist(rng, 120)
 	for _, workers := range []int{1, 4} {
-		got, err := AnalyzeBatchContext(context.Background(), nl, libs, Config{}, workers)
+		got, err := AnalyzeBatch(context.Background(), nl, libs, Config{}, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -345,7 +345,7 @@ func TestAnalyzeBatchMatchesReference(t *testing.T) {
 		}
 	}
 	// Empty batch is a no-op.
-	if res, err := AnalyzeBatchContext(context.Background(), nl, nil, Config{}, 4); err != nil || res != nil {
+	if res, err := AnalyzeBatch(context.Background(), nl, nil, Config{}, 4); err != nil || res != nil {
 		t.Errorf("empty batch: %v, %v", res, err)
 	}
 }
@@ -372,7 +372,7 @@ func TestAnalyzeBatchCancellation(t *testing.T) {
 		}
 		cancel()
 	}()
-	_, err := AnalyzeBatchContext(ctx, nl, libs, Config{}, 4)
+	_, err := AnalyzeBatch(ctx, nl, libs, Config{}, 4)
 	if !errors.Is(err, conc.ErrCanceled) {
 		t.Fatalf("err = %v, want conc.ErrCanceled", err)
 	}
@@ -388,7 +388,7 @@ func TestAnalyzeBatchCancellation(t *testing.T) {
 	// A pre-canceled context fails fast with the same sentinel.
 	done, cancel2 := context.WithCancel(context.Background())
 	cancel2()
-	if _, err := AnalyzeBatchContext(done, nl, libs, Config{}, 4); !errors.Is(err, conc.ErrCanceled) {
+	if _, err := AnalyzeBatch(done, nl, libs, Config{}, 4); !errors.Is(err, conc.ErrCanceled) {
 		t.Errorf("pre-canceled err = %v, want conc.ErrCanceled", err)
 	}
 }

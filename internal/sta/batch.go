@@ -11,7 +11,7 @@ import (
 	"ageguard/internal/obs"
 )
 
-// AnalyzeBatchContext times one netlist under every library in libs and
+// AnalyzeBatch times one netlist under every library in libs and
 // returns one Result per library, in order — the shape of the paper's
 // Fig. 5 duty-cycle grid, where the same synthesized netlist is re-timed
 // under up to 121 aged libraries. The netlist topology (levelization, net
@@ -21,7 +21,7 @@ import (
 // given worker bound (conc.Workers semantics: <=0 selects GOMAXPROCS,
 // 1 runs serial).
 //
-// Every Result is bit-identical to a standalone AnalyzeContext of the same
+// Every Result is bit-identical to a standalone Analyze of the same
 // (netlist, library) pair. A library whose cell footprints deviate from
 // the shared topology (different pin names/order — impossible for the
 // aged-variant libraries the flow produces, but allowed) falls back to the
@@ -31,7 +31,7 @@ import (
 // On cancellation mid-batch the remaining legs stop, every worker
 // goroutine exits before the call returns, and the error matches
 // conc.ErrCanceled.
-func AnalyzeBatchContext(ctx context.Context, n *netlist.Netlist, libs []*liberty.Library, cfg Config, workers int) ([]*Result, error) {
+func AnalyzeBatch(ctx context.Context, n *netlist.Netlist, libs []*liberty.Library, cfg Config, workers int) ([]*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, conc.WrapCanceled(fmt.Errorf("sta: %s: %w", n.Name, err))
 	}

@@ -20,9 +20,9 @@ import (
 //
 //  1. the synthesis inner loop — swap a handful of cells, re-query the
 //     critical path, repeat — comparing Analyzer.Swap against a full
-//     AnalyzeContext of the mutated netlist each round;
+//     Analyze of the mutated netlist each round;
 //  2. the 121-library duty-cycle grid fan-out — one netlist timed under
-//     every grid library — comparing AnalyzeBatchContext (topology
+//     every grid library — comparing AnalyzeBatch (topology
 //     compiled once, legs fanned out over all CPUs) against a serial
 //     full analysis per library.
 //
@@ -92,7 +92,7 @@ func BenchmarkInnerLoopFull(b *testing.B) {
 		for _, sw := range s {
 			byName[sw.Inst].Cell = sw.Cell
 		}
-		res, err := AnalyzeContext(ctx, nl, l, Config{})
+		res, err := Analyze(ctx, nl, l, Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func BenchmarkGridBatch(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := AnalyzeBatchContext(ctx, nl, libs, Config{}, 0); err != nil {
+		if _, err := AnalyzeBatch(ctx, nl, libs, Config{}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +123,7 @@ func BenchmarkGridSerialFull(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 121; j++ {
-			if _, err := AnalyzeContext(ctx, nl, l, Config{}); err != nil {
+			if _, err := Analyze(ctx, nl, l, Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -221,7 +221,7 @@ func TestBenchPR4Emit(t *testing.T) {
 			for _, sw := range swaps {
 				byName[sw.Inst].Cell = sw.Cell
 			}
-			if _, err := AnalyzeContext(ctx, nl, l, Config{}); err != nil {
+			if _, err := Analyze(ctx, nl, l, Config{}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -243,7 +243,7 @@ func TestBenchPR4Emit(t *testing.T) {
 		BaselineMs:    fullMs,
 		OptimizedMs:   incrMs,
 		Speedup:       fullMs / incrMs,
-		Baseline:      fmt.Sprintf("full AnalyzeContext per round (%d rounds x 3 swaps)", rounds),
+		Baseline:      fmt.Sprintf("full Analyze per round (%d rounds x 3 swaps)", rounds),
 		Optimized:     "Analyzer.Swap incremental re-propagation",
 		RoundsPerIter: rounds,
 	}
@@ -256,13 +256,13 @@ func TestBenchPR4Emit(t *testing.T) {
 	}
 	serialMs := medianOf(iters, func() {
 		for range libs {
-			if _, err := AnalyzeContext(ctx, nl, l, Config{}); err != nil {
+			if _, err := Analyze(ctx, nl, l, Config{}); err != nil {
 				t.Fatal(err)
 			}
 		}
 	})
 	batchMs := medianOf(iters, func() {
-		if _, err := AnalyzeBatchContext(ctx, nl, libs, Config{}, 0); err != nil {
+		if _, err := AnalyzeBatch(ctx, nl, libs, Config{}, 0); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -270,8 +270,8 @@ func TestBenchPR4Emit(t *testing.T) {
 		BaselineMs:    serialMs,
 		OptimizedMs:   batchMs,
 		Speedup:       serialMs / batchMs,
-		Baseline:      "serial AnalyzeContext per library",
-		Optimized:     "AnalyzeBatchContext, shared topology, all CPUs",
+		Baseline:      "serial Analyze per library",
+		Optimized:     "AnalyzeBatch, shared topology, all CPUs",
 		RoundsPerIter: len(libs),
 	}
 

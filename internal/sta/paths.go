@@ -48,24 +48,15 @@ func Endpoints(n *netlist.Netlist, lib *liberty.Library, res *Result) ([]Endpoin
 	return out, nil
 }
 
-// TopPaths extracts the k worst register-to-register/output paths.
-//
-// Deprecated: use TopPathsContext, which records timings into the run's
-// metrics registry. This wrapper uses context.Background and remains for
-// existing callers.
-func TopPaths(n *netlist.Netlist, lib *liberty.Library, cfg Config, k int) ([]Path, error) {
-	return TopPathsContext(context.Background(), n, lib, cfg, k)
-}
-
-// TopPathsContext extracts the k worst register-to-register/output paths,
+// TopPaths extracts the k worst register-to-register/output paths,
 // one per endpoint-edge, by re-running the analysis traceback from each
 // of the k latest endpoints. (Industrial tools enumerate multiple paths
 // per endpoint too; one-per-endpoint is the granularity the optimization
 // passes and the paper's comparisons need.) The analysis runs on the
-// compiled engine via AnalyzeContext.
-func TopPathsContext(ctx context.Context, n *netlist.Netlist, lib *liberty.Library, cfg Config, k int) ([]Path, error) {
+// compiled engine via Analyze.
+func TopPaths(ctx context.Context, n *netlist.Netlist, lib *liberty.Library, cfg Config, k int) ([]Path, error) {
 	cfg.fill()
-	res, err := AnalyzeContext(ctx, n, lib, cfg)
+	res, err := Analyze(ctx, n, lib, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package sta
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestWriteSDF(t *testing.T) {
 	l := lib(t, aging.Fresh())
 	nl := chain(2)
-	res, err := Analyze(nl, l, Config{})
+	res, err := Analyze(context.Background(), nl, l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestWriteSDF(t *testing.T) {
 	}
 	// The aged SDF must carry larger IOPATH values than the fresh one.
 	agedLib := lib(t, aging.WorstCase(10))
-	ares, err := Analyze(nl, agedLib, Config{})
+	ares, err := Analyze(context.Background(), nl, agedLib, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

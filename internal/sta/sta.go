@@ -100,16 +100,7 @@ type pred struct {
 	delay   float64
 }
 
-// Analyze runs static timing analysis on the netlist against the library.
-//
-// Deprecated: use AnalyzeContext, which records timings into the run's
-// metrics registry. This wrapper uses context.Background and remains for
-// existing callers.
-func Analyze(n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
-	return AnalyzeContext(context.Background(), n, lib, cfg)
-}
-
-// AnalyzeContext runs static timing analysis on the netlist against the
+// Analyze runs static timing analysis on the netlist against the
 // library, counting the run (sta.analyses) and its wall time
 // (sta.analyze.seconds) in the registry carried by ctx. The analysis
 // itself is pure CPU work over in-memory tables and is not interruptible
@@ -117,12 +108,11 @@ func Analyze(n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, err
 // before starting another analysis.
 //
 // Since the incremental engine landed this is a thin wrapper over
-// NewAnalyzer + Result — one-shot callers get the compiled fast path and
-// the deprecated background-ctx wrappers (Analyze, TopPaths) inherit it
-// through here. Callers that re-time the same netlist repeatedly should
-// hold an Analyzer (or use AnalyzeBatchContext for many libraries) to
+// NewAnalyzer + Result — one-shot callers get the compiled fast path.
+// Callers that re-time the same netlist repeatedly should
+// hold an Analyzer (or use AnalyzeBatch for many libraries) to
 // amortize the topology compilation too.
-func AnalyzeContext(ctx context.Context, n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
+func Analyze(ctx context.Context, n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
 	a, err := NewAnalyzer(ctx, n, lib, cfg)
 	if err != nil {
 		return nil, err
@@ -135,7 +125,7 @@ func AnalyzeContext(ctx context.Context, n *netlist.Netlist, lib *liberty.Librar
 // retained verbatim as the executable specification the compiled engine
 // is property-tested against bit-for-bit (see analyzer_test.go), and as
 // the fallback for batch legs whose library footprints don't match the
-// shared topology. New callers should use AnalyzeContext.
+// shared topology. New callers should use Analyze.
 func analyzeReference(n *netlist.Netlist, lib *liberty.Library, cfg Config) (*Result, error) {
 	cfg.fill()
 	look := netlist.LibraryLookup(lib)

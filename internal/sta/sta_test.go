@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"testing"
 
 	"ageguard/internal/aging"
@@ -13,7 +14,7 @@ import (
 func lib(t testing.TB, s aging.Scenario) *liberty.Library {
 	t.Helper()
 	cfg := char.CachedConfig()
-	l, err := cfg.Characterize(s)
+	l, err := cfg.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +39,11 @@ func chain(n int) *netlist.Netlist {
 
 func TestChainTiming(t *testing.T) {
 	l := lib(t, aging.Fresh())
-	r2, err := Analyze(chain(2), l, Config{})
+	r2, err := Analyze(context.Background(), chain(2), l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r6, err := Analyze(chain(6), l, Config{})
+	r6, err := Analyze(context.Background(), chain(6), l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestAgedSlower(t *testing.T) {
 	fresh := lib(t, aging.Fresh())
 	aged := lib(t, aging.WorstCase(10))
 	nl := chain(6)
-	rf, err := Analyze(nl, fresh, Config{})
+	rf, err := Analyze(context.Background(), nl, fresh, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Analyze(nl, aged, Config{})
+	ra, err := Analyze(context.Background(), nl, aged, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestLoadSlewAnnotations(t *testing.T) {
 		s := string(rune('0' + i))
 		nl.AddInst("l"+s, "INV_X2", map[string]string{"A": "m", "ZN": "y" + s})
 	}
-	res, err := Analyze(nl, l, Config{})
+	res, err := Analyze(context.Background(), nl, l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestPathDelayUnder(t *testing.T) {
 	fresh := lib(t, aging.Fresh())
 	aged := lib(t, aging.WorstCase(10))
 	nl := chain(4)
-	rf, err := Analyze(nl, fresh, Config{})
+	rf, err := Analyze(context.Background(), nl, fresh, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestPathDelayUnder(t *testing.T) {
 	}
 	// And it cannot exceed the full aged analysis (which maximizes over
 	// all paths).
-	ra, err := Analyze(nl, aged, Config{})
+	ra, err := Analyze(context.Background(), nl, aged, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,17 +167,17 @@ func TestAnalyzeAnnotatedNetlistWithMergedLibrary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := cfg.CompleteLibrary("complete", scen)
+	merged, err := cfg.CompleteLibrary(context.Background(), "complete", scen)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Analyze(ann, &merged.Library, Config{})
+	res, err := Analyze(context.Background(), ann, &merged.Library, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Dynamic stress must land between fresh and full worst case.
-	fresh, _ := Analyze(nl, lib(t, aging.Fresh()), Config{})
-	worst, _ := Analyze(nl, lib(t, base), Config{})
+	fresh, _ := Analyze(context.Background(), nl, lib(t, aging.Fresh()), Config{})
+	worst, _ := Analyze(context.Background(), nl, lib(t, base), Config{})
 	if !(res.CP > fresh.CP && res.CP < worst.CP) {
 		t.Errorf("dynamic CP %s not within (%s, %s)",
 			units.PsString(res.CP), units.PsString(fresh.CP), units.PsString(worst.CP))
@@ -188,7 +189,7 @@ func TestMissingDriverError(t *testing.T) {
 	nl := netlist.New("bad")
 	nl.Outputs = []string{"y"}
 	nl.AddInst("g", "INV_X1", map[string]string{"A": "nowhere", "ZN": "y"})
-	if _, err := Analyze(nl, l, Config{}); err == nil {
+	if _, err := Analyze(context.Background(), nl, l, Config{}); err == nil {
 		t.Error("undriven input not reported")
 	}
 }
@@ -196,7 +197,7 @@ func TestMissingDriverError(t *testing.T) {
 func TestRequiredAndSlack(t *testing.T) {
 	l := lib(t, aging.Fresh())
 	nl := chain(4)
-	res, err := Analyze(nl, l, Config{})
+	res, err := Analyze(context.Background(), nl, l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSlackOrdersSidePaths(t *testing.T) {
 	}
 	nl.AddInst("c1", "DFF_X1", map[string]string{"D": "w1", "CK": netlist.ClockNet, "Q": "q1"})
 	nl.AddInst("c2", "DFF_X1", map[string]string{"D": prev, "CK": netlist.ClockNet, "Q": "q2"})
-	res, err := Analyze(nl, l, Config{})
+	res, err := Analyze(context.Background(), nl, l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestEndpointsAndTopPaths(t *testing.T) {
 	}
 	nl.AddInst("c1", "DFF_X1", map[string]string{"D": "w1", "CK": netlist.ClockNet, "Q": "q1"})
 	nl.AddInst("c2", "DFF_X1", map[string]string{"D": prev, "CK": netlist.ClockNet, "Q": "q2"})
-	res, err := Analyze(nl, l, Config{})
+	res, err := Analyze(context.Background(), nl, l, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestEndpointsAndTopPaths(t *testing.T) {
 			t.Fatal("endpoints not sorted")
 		}
 	}
-	paths, err := TopPaths(nl, l, Config{}, 3)
+	paths, err := TopPaths(context.Background(), nl, l, Config{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

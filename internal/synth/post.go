@@ -24,19 +24,11 @@ import (
 // netlist is optimized for the delays in that library — hand it the
 // degradation-aware library and the circuit is optimized against aging.
 //
-// Deprecated: use SynthesizeContext, which supports cancellation between
-// optimization passes and records timings into the run's metrics registry.
-// This wrapper uses context.Background and remains for existing callers.
-func Synthesize(a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
-	return SynthesizeContext(context.Background(), a, lib, name, cfg)
-}
-
-// SynthesizeContext is Synthesize with cancellation and observability: ctx
-// is checked between mapping seeds and optimization rounds (each is pure
-// in-memory CPU work, so that is the natural interruption granularity),
-// and the run is traced under a "synth.synthesize" span with per-netlist
-// counters.
-func SynthesizeContext(ctx context.Context, a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
+// ctx is checked between mapping seeds and optimization rounds (each is
+// pure in-memory CPU work, so that is the natural interruption
+// granularity), and the run is traced under a "synth.synthesize" span
+// with per-netlist counters.
+func Synthesize(ctx context.Context, a *logic.AIG, lib *liberty.Library, name string, cfg Config) (*netlist.Netlist, error) {
 	ctx, sp := obs.StartSpan(ctx, "synth.synthesize")
 	defer sp.End()
 	sp.SetAttr("circuit", name)
@@ -72,7 +64,7 @@ func SynthesizeContext(ctx context.Context, a *logic.AIG, lib *liberty.Library, 
 		if err != nil {
 			return nil, err
 		}
-		res, err := sta.AnalyzeContext(ctx, cand, lib, cfg.STA)
+		res, err := sta.Analyze(ctx, cand, lib, cfg.STA)
 		if err != nil {
 			return nil, err
 		}
@@ -170,8 +162,8 @@ func FixDesignRules(nl *netlist.Netlist, lib *liberty.Library) *netlist.Netlist 
 // and keeps such paths strong. This is the mechanism behind the paper's
 // observation that traditionally optimized circuits need large guardbands
 // while aging-aware synthesis contains them.
-func RecoverArea(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
-	return recoverArea(context.Background(), nl, lib, cfg)
+func RecoverArea(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return recoverArea(ctx, nl, lib, cfg)
 }
 
 func recoverArea(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
@@ -223,8 +215,8 @@ func recoverArea(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library,
 // (its own arc delay at the real load plus the upstream penalty of its
 // changed pin capacitance), and keeps a round only when full STA confirms
 // the critical path improved.
-func SizeGates(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
-	return sizeGates(context.Background(), nl, lib, cfg)
+func SizeGates(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return sizeGates(ctx, nl, lib, cfg)
 }
 
 func sizeGates(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
@@ -420,8 +412,8 @@ func slewOf(res *sta.Result, net string, e liberty.Edge) float64 {
 // critical sink keeps the direct connection while the remaining sinks move
 // behind a buffer, unloading the critical transition. Changes are kept
 // only when STA confirms an improvement.
-func BufferCriticalNets(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
-	return bufferCriticalNets(context.Background(), nl, lib, cfg)
+func BufferCriticalNets(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+	return bufferCriticalNets(ctx, nl, lib, cfg)
 }
 
 // bufferCriticalNets edits netlist structure (new buffer instances and
@@ -430,7 +422,7 @@ func BufferCriticalNets(nl *netlist.Netlist, lib *liberty.Library, cfg Config) (
 func bufferCriticalNets(ctx context.Context, nl *netlist.Netlist, lib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl
-	res, err := sta.AnalyzeContext(ctx, cur, lib, cfg.STA)
+	res, err := sta.Analyze(ctx, cur, lib, cfg.STA)
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +467,7 @@ func bufferCriticalNets(ctx context.Context, nl *netlist.Netlist, lib *liberty.L
 		if changed == 0 {
 			break
 		}
-		nres, err := sta.AnalyzeContext(ctx, next, lib, cfg.STA)
+		nres, err := sta.Analyze(ctx, next, lib, cfg.STA)
 		if err != nil {
 			return nil, err
 		}
@@ -498,22 +490,9 @@ func netExists(nl *netlist.Netlist, net string) bool {
 	return false
 }
 
-// SizeGatesDual resizes instances on critical paths identified under
-// critLib while costing every candidate with costLib — the structure of
-// the related-work baseline [14] (Ebrahimi et al., ICCAD'13): aging
-// analysis points at the paths that will become critical, but the
-// synthesis tool that re-optimizes them only knows the fresh library.
-// Rounds are accepted when the critLib critical path improves.
-//
-// Deprecated: use SizeGatesDualContext. This wrapper uses
-// context.Background and remains for existing callers.
-func SizeGatesDual(nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
-	return SizeGatesDualContext(context.Background(), nl, costLib, critLib, cfg)
-}
-
-// SizeGatesDualContext is SizeGatesDual with cancellation between rounds
-// and STA timings recorded into the registry carried by ctx.
-func SizeGatesDualContext(ctx context.Context, nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
+// ctx is checked between rounds; STA timings are recorded into the
+// registry carried by ctx.
+func SizeGatesDual(ctx context.Context, nl *netlist.Netlist, costLib, critLib *liberty.Library, cfg Config) (*netlist.Netlist, error) {
 	cfg.fill()
 	cur := nl.Clone()
 	// Two incremental engines over the same netlist, kept in lockstep: one

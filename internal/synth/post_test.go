@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"ageguard/internal/aging"
@@ -39,7 +40,7 @@ func TestOutputLoadChangesSizing(t *testing.T) {
 
 	drive := func(cfg Config) int {
 		t.Helper()
-		sized, err := SizeGates(invChain(4), lib, cfg)
+		sized, err := SizeGates(context.Background(), invChain(4), lib, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,13 +68,13 @@ func TestSizeGatesDoesNotMutateInput(t *testing.T) {
 	for _, in := range nl.Insts {
 		before[in.Name] = in.Cell
 	}
-	if _, err := SizeGates(nl, lib, Config{}); err != nil {
+	if _, err := SizeGates(context.Background(), nl, lib, Config{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RecoverArea(nl, lib, Config{}); err != nil {
+	if _, err := RecoverArea(context.Background(), nl, lib, Config{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SizeGatesDual(nl, lib, lib, Config{}); err != nil {
+	if _, err := SizeGatesDual(context.Background(), nl, lib, lib, Config{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, in := range nl.Insts {

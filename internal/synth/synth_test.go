@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -19,7 +20,7 @@ import (
 func testLib(t testing.TB, s aging.Scenario) *liberty.Library {
 	t.Helper()
 	cfg := char.CachedConfig()
-	lib, err := cfg.Characterize(s)
+	lib, err := cfg.Characterize(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,15 +231,15 @@ func TestSynthesizeImprovesOrHoldsCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	seq := WrapSequential(mapped)
-	base, err := sta.Analyze(seq, lib, sta.Config{})
+	base, err := sta.Analyze(context.Background(), seq, lib, sta.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sized, err := SizeGates(seq, lib, Config{})
+	sized, err := SizeGates(context.Background(), seq, lib, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	after, err := sta.Analyze(sized, lib, sta.Config{})
+	after, err := sta.Analyze(context.Background(), sized, lib, sta.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,14 +253,14 @@ func TestSynthesizeImprovesOrHoldsCP(t *testing.T) {
 func TestSynthesizeFull(t *testing.T) {
 	lib := testLib(t, aging.Fresh())
 	a := mixed()
-	nl, err := Synthesize(a, lib, "mixed", Config{Buffering: true})
+	nl, err := Synthesize(context.Background(), a, lib, "mixed", Config{Buffering: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := nl.Check(gatesim.CatalogLookup); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sta.Analyze(nl, lib, sta.Config{}); err != nil {
+	if _, err := sta.Analyze(context.Background(), nl, lib, sta.Config{}); err != nil {
 		t.Fatal(err)
 	}
 	checkEquiv(t, a, nl, 10)
@@ -271,11 +272,11 @@ func TestAgedLibraryChangesMapping(t *testing.T) {
 	fresh := testLib(t, aging.Fresh())
 	aged := testLib(t, aging.WorstCase(10))
 	a := rtl.GenFFT()
-	nlF, err := Synthesize(a, fresh, "fft_fresh", Config{})
+	nlF, err := Synthesize(context.Background(), a, fresh, "fft_fresh", Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nlA, err := Synthesize(a, aged, "fft_aged", Config{})
+	nlA, err := Synthesize(context.Background(), a, aged, "fft_aged", Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

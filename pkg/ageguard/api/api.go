@@ -1,0 +1,145 @@
+// Package api defines the versioned wire types of the ageguardd
+// HTTP/JSON interface. The package is importable by out-of-tree clients:
+// it depends on nothing but the standard library and carries only plain
+// data — all physical quantities are SI floats, with the unit suffixed
+// to the field name (_s seconds, _f farads).
+//
+// Every request and response embeds the protocol version; servers reject
+// requests whose version they do not speak, so a future v2 can change
+// shapes without silently misreading v1 traffic.
+package api
+
+// APIVersion is the protocol generation this package describes. Clients
+// put it in requests; servers echo it in responses.
+const APIVersion = "v1"
+
+// Scenario selects the aging stress a query is evaluated under.
+//
+// Kind is one of "fresh", "worst", "balance" or "duty". Years is the
+// projected lifetime (ignored for "fresh"). LambdaP/LambdaN are the
+// pMOS/nMOS duty cycles in [0, 1], used by "duty" only.
+type Scenario struct {
+	Kind    string  `json:"kind"`
+	Years   float64 `json:"years,omitempty"`
+	LambdaP float64 `json:"lambda_p,omitempty"`
+	LambdaN float64 `json:"lambda_n,omitempty"`
+}
+
+// GuardbandRequest asks for the timing guardband of a benchmark circuit
+// under a static aging scenario: the circuit is synthesized
+// traditionally (cached server-side) and timed fresh and aged.
+type GuardbandRequest struct {
+	Version  string   `json:"version"`
+	Circuit  string   `json:"circuit"`
+	Scenario Scenario `json:"scenario"`
+}
+
+// GuardbandResponse reports the fresh and aged critical paths and their
+// difference. GuardbandPct is the guardband relative to the fresh
+// critical path, in percent.
+type GuardbandResponse struct {
+	Version      string   `json:"version"`
+	Circuit      string   `json:"circuit"`
+	Scenario     Scenario `json:"scenario"`
+	FreshCPs     float64  `json:"fresh_cp_s"`
+	AgedCPs      float64  `json:"aged_cp_s"`
+	GuardbandS   float64  `json:"guardband_s"`
+	GuardbandPct float64  `json:"guardband_pct"`
+}
+
+// CellTimingRequest asks for the aged timing of one standard cell at a
+// given input slew and output load, interpolated from the
+// characterized library of the scenario.
+type CellTimingRequest struct {
+	Version  string   `json:"version"`
+	Cell     string   `json:"cell"`
+	Scenario Scenario `json:"scenario"`
+	InSlewS  float64  `json:"in_slew_s"`
+	LoadF    float64  `json:"load_f"`
+}
+
+// ArcTiming is the interpolated delay and output slew of one timing arc
+// at the queried (slew, load) point. Edge names the output transition,
+// "rise" or "fall".
+type ArcTiming struct {
+	Pin      string  `json:"pin"`
+	Edge     string  `json:"edge"`
+	DelayS   float64 `json:"delay_s"`
+	OutSlewS float64 `json:"out_slew_s"`
+}
+
+// CellTimingResponse reports every arc of the cell at the queried
+// point. Library names the characterized library that served the
+// lookup.
+type CellTimingResponse struct {
+	Version string      `json:"version"`
+	Cell    string      `json:"cell"`
+	Library string      `json:"library"`
+	Arcs    []ArcTiming `json:"arcs"`
+}
+
+// GridRequest asks for the full duty-cycle guardband grid of a circuit:
+// the netlist is timed under every (lambdaP, lambdaN) combination of
+// the paper's 11x11 grid for the given lifetime.
+type GridRequest struct {
+	Version string  `json:"version"`
+	Circuit string  `json:"circuit"`
+	Years   float64 `json:"years"`
+}
+
+// GridResponse carries the grid slice. AgedCPs is indexed
+// [iLambdaP][iLambdaN] over the Lambdas axis; the guardband at a point
+// is AgedCPs[i][j] - FreshCPs.
+type GridResponse struct {
+	Version         string      `json:"version"`
+	Circuit         string      `json:"circuit"`
+	Years           float64     `json:"years"`
+	FreshCPs        float64     `json:"fresh_cp_s"`
+	Lambdas         []float64   `json:"lambdas"`
+	AgedCPs         [][]float64 `json:"aged_cp_s"`
+	WorstGuardbandS float64     `json:"worst_guardband_s"`
+}
+
+// PathsRequest asks for the K most critical register-to-register or
+// register-to-output paths of a circuit under a scenario.
+type PathsRequest struct {
+	Version  string   `json:"version"`
+	Circuit  string   `json:"circuit"`
+	Scenario Scenario `json:"scenario"`
+	K        int      `json:"k"`
+}
+
+// PathStep is one cell traversal on a reported timing path.
+type PathStep struct {
+	Inst     string  `json:"inst"`
+	Cell     string  `json:"cell"`
+	Pin      string  `json:"pin"`
+	InEdge   string  `json:"in_edge"`
+	OutEdge  string  `json:"out_edge"`
+	DelayS   float64 `json:"delay_s"`
+	ArrivalS float64 `json:"arrival_s"`
+}
+
+// Path is one critical path: total delay includes the setup component
+// at a register endpoint (SetupS, zero at primary outputs).
+type Path struct {
+	Launch   string     `json:"launch"`
+	Endpoint string     `json:"endpoint"`
+	EndEdge  string     `json:"end_edge"`
+	DelayS   float64    `json:"delay_s"`
+	SetupS   float64    `json:"setup_s,omitempty"`
+	Steps    []PathStep `json:"steps"`
+}
+
+// PathsResponse reports the paths, most critical first.
+type PathsResponse struct {
+	Version string `json:"version"`
+	Circuit string `json:"circuit"`
+	Paths   []Path `json:"paths"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Version string `json:"version"`
+	Error   string `json:"error"`
+}

@@ -1,0 +1,69 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTrip encodes v, decodes into a fresh value of the same type and
+// returns it alongside the wire bytes.
+func roundTrip(t *testing.T, v any) (any, []byte) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := reflect.New(reflect.TypeOf(v)).Interface()
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatal(err)
+	}
+	return reflect.ValueOf(out).Elem().Interface(), b
+}
+
+func TestRoundTrip(t *testing.T) {
+	duty := Scenario{Kind: "duty", Years: 10, LambdaP: 0.3, LambdaN: 0.7}
+	values := []any{
+		GuardbandRequest{Version: APIVersion, Circuit: "DSP", Scenario: duty},
+		GuardbandResponse{Version: APIVersion, Circuit: "DSP", Scenario: duty,
+			FreshCPs: 1.1e-9, AgedCPs: 1.3e-9, GuardbandS: 0.2e-9, GuardbandPct: 18.2},
+		CellTimingRequest{Version: APIVersion, Cell: "NAND2_X1", Scenario: duty,
+			InSlewS: 20e-12, LoadF: 2e-15},
+		CellTimingResponse{Version: APIVersion, Cell: "NAND2_X1", Library: "worst_10y",
+			Arcs: []ArcTiming{{Pin: "A", Edge: "rise", DelayS: 31e-12, OutSlewS: 14e-12}}},
+		GridRequest{Version: APIVersion, Circuit: "FFT", Years: 10},
+		GridResponse{Version: APIVersion, Circuit: "FFT", Years: 10, FreshCPs: 2e-9,
+			Lambdas: []float64{0, 0.5, 1}, AgedCPs: [][]float64{{2.1e-9, 2.2e-9, 2.3e-9}},
+			WorstGuardbandS: 0.3e-9},
+		PathsRequest{Version: APIVersion, Circuit: "DSP", Scenario: duty, K: 5},
+		PathsResponse{Version: APIVersion, Circuit: "DSP", Paths: []Path{{
+			Launch: "reg1/Q", Endpoint: "reg9/D", EndEdge: "rise",
+			DelayS: 1.2e-9, SetupS: 40e-12,
+			Steps: []PathStep{{Inst: "u1", Cell: "INV_X1", Pin: "A",
+				InEdge: "fall", OutEdge: "rise", DelayS: 12e-12, ArrivalS: 30e-12}},
+		}}},
+		ErrorResponse{Version: APIVersion, Error: "unknown circuit"},
+	}
+	for _, v := range values {
+		got, wire := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("%T: round-trip mismatch\n got %#v\nwant %#v", v, got, v)
+		}
+		if !strings.Contains(string(wire), `"version":"v1"`) {
+			t.Errorf("%T: wire form lacks version tag: %s", v, wire)
+		}
+	}
+}
+
+func TestScenarioOmitsUnusedKnobs(t *testing.T) {
+	// A "fresh" scenario must not leak zero-valued lambda/years fields
+	// onto the wire — v1 treats absence as "not applicable".
+	b, err := json.Marshal(Scenario{Kind: "fresh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"kind":"fresh"}`; got != want {
+		t.Errorf("fresh scenario wire form = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,156 @@
+// Package client is a thin typed client for the ageguardd HTTP/JSON
+// service. It depends only on the standard library and the wire types
+// of pkg/ageguard/api.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ageguard/pkg/ageguard/api"
+)
+
+// Client issues queries against one ageguardd instance. The zero value
+// is not usable; construct with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8347").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx reply. RetryAfter carries the server's
+// backpressure hint on 429 (zero otherwise).
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ageguardd: %d %s: %s",
+		e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Saturated reports whether the server shed this request for load; the
+// caller should back off for RetryAfter.
+func (e *APIError) Saturated() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+// do posts req to path and decodes the reply into resp.
+func (c *Client) do(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	res, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: res.StatusCode}
+		var eb api.ErrorResponse
+		if json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&eb) == nil {
+			apiErr.Message = eb.Error
+		}
+		if s, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(s) * time.Second
+		}
+		return apiErr
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+// Guardband queries the fresh/aged critical paths and guardband of a
+// circuit. A missing request version is filled with api.APIVersion.
+func (c *Client) Guardband(ctx context.Context, req api.GuardbandRequest) (*api.GuardbandResponse, error) {
+	if req.Version == "" {
+		req.Version = api.APIVersion
+	}
+	var resp api.GuardbandResponse
+	if err := c.do(ctx, "/v1/guardband", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CellTiming queries one cell's interpolated aged timing.
+func (c *Client) CellTiming(ctx context.Context, req api.CellTimingRequest) (*api.CellTimingResponse, error) {
+	if req.Version == "" {
+		req.Version = api.APIVersion
+	}
+	var resp api.CellTimingResponse
+	if err := c.do(ctx, "/v1/celltiming", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Grid queries the full duty-cycle guardband grid of a circuit.
+func (c *Client) Grid(ctx context.Context, req api.GridRequest) (*api.GridResponse, error) {
+	if req.Version == "" {
+		req.Version = api.APIVersion
+	}
+	var resp api.GridResponse
+	if err := c.do(ctx, "/v1/grid", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Paths queries the K most critical timing paths of a circuit.
+func (c *Client) Paths(ctx context.Context, req api.PathsRequest) (*api.PathsResponse, error) {
+	if req.Version == "" {
+		req.Version = api.APIVersion
+	}
+	var resp api.PathsResponse
+	if err := c.do(ctx, "/v1/paths", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz probes the liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.hc.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: res.StatusCode, Message: "healthz"}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ageguard/pkg/ageguard/api"
+)
+
+func TestGuardbandFillsVersionAndDecodes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req api.GuardbandRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Fatal(err)
+		}
+		if req.Version != api.APIVersion {
+			t.Errorf("client sent version %q, want %q", req.Version, api.APIVersion)
+		}
+		json.NewEncoder(w).Encode(api.GuardbandResponse{
+			Version: api.APIVersion, Circuit: req.Circuit,
+			FreshCPs: 1e-9, AgedCPs: 1.2e-9, GuardbandS: 0.2e-9,
+		})
+	}))
+	defer srv.Close()
+
+	resp, err := New(srv.URL).Guardband(context.Background(),
+		api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Circuit != "DSP" || resp.GuardbandS != 0.2e-9 {
+		t.Errorf("decoded %+v", resp)
+	}
+}
+
+func TestAPIErrorCarriesStatusAndRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Version: api.APIVersion, Error: "saturated"})
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Guardband(context.Background(),
+		api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if !apiErr.Saturated() || apiErr.RetryAfter != 3*time.Second || apiErr.Message != "saturated" {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify fmt faults bench serve-smoke
+.PHONY: all build test race verify fmt faults chaos bench serve-smoke
 
 all: build
 
@@ -37,6 +37,7 @@ verify:
 	$(GO) test -race ./...
 	BENCH_PR4_OUT=$$(mktemp) BENCH_PR4_ITERS=1 $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1
 	BENCH_PR6_OUT=$$(mktemp) BENCH_PR6_ITERS=1 $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1
+	$(MAKE) chaos
 	$(MAKE) serve-smoke
 
 # serve-smoke boots a real ageguardd (quick characterization grid,
@@ -62,6 +63,16 @@ bench:
 	$(GO) run ./cmd/ageguardd -quick -cache $$(mktemp -d) -loadgen \
 		-loadgen-requests 200 -loadgen-conc 4 -bench-out $(CURDIR)/BENCH_PR7.json
 	$(GO) test ./internal/char/ -run XXX -bench 'BenchmarkArcTransient|BenchmarkCharacterizeINVX1' -benchtime 1s
+
+# chaos runs the end-to-end fault-injection suite under the race
+# detector: a retrying/hedging client driven through a seeded TCP proxy
+# and a fault-injecting transport (resets, truncation, corruption,
+# latency, forced 5xx) must converge to the bit-identical fault-free
+# answers, leave no corrupt or partial cache files behind, and a
+# warm-restarted daemon must serve repeat queries without
+# re-characterizing. Runs as part of verify.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
 
 # faults runs the fault-injection and recovery suite — solver retry
 # ladder, grid-point salvage, checkpoint/resume, cache corruption and

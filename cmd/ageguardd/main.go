@@ -11,7 +11,9 @@
 //	ageguardd -loadgen -bench-out BENCH_PR7.json
 //
 // Endpoints: POST /v1/guardband, /v1/celltiming, /v1/grid, /v1/paths;
-// GET /healthz, /metrics (text), /metrics.json, /debug/pprof.
+// GET /healthz (liveness), /readyz (readiness: 503 until the
+// -warm-start scan completes and again while draining), /metrics
+// (text), /metrics.json, /debug/pprof.
 //
 // Queries answer from a bounded in-memory LRU of parsed libraries,
 // synthesized netlists and compiled STA engines; concurrent identical
@@ -63,6 +65,7 @@ func main() {
 		benchOut  = flag.String("bench-out", "BENCH_PR7.json", "loadgen report path")
 	)
 	c := cli.Register("ageguardd", flag.CommandLine)
+	sf := cli.RegisterServe(flag.CommandLine)
 	flag.Parse()
 
 	c.Main(context.Background(), func(ctx context.Context) error {
@@ -84,6 +87,9 @@ func main() {
 			QueueDepth:     *queueDepth,
 			RequestTimeout: *reqTimeout,
 			DrainTimeout:   *drain,
+			WarmStart:      sf.WarmStart,
+			ScrubInterval:  sf.ScrubInterval,
+			DrainGrace:     sf.DrainGrace,
 		}
 
 		if *smoke {

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP relay: clients dial Addr(), the proxy
+// dials the target and copies bytes both ways. The request direction is
+// copied verbatim; the response direction runs through the fault
+// engine, which can reset the connection mid-stream (RST via zero
+// linger), truncate the remainder, flip a byte, or stall a chunk —
+// failure modes an http.RoundTripper wrapper cannot express because
+// they happen below HTTP framing.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	in     *injector
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a loopback port relaying to target
+// (host:port). Close it when done.
+func NewProxy(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		in:     newInjector(cfg),
+		conns:  map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the host:port clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Injected returns the per-kind counts of faults injected so far.
+func (p *Proxy) Injected() map[string]int64 { return p.in.injected() }
+
+// Spent reports how much of the fault budget has been consumed.
+func (p *Proxy) Spent() int { return p.in.spent() }
+
+// Close stops accepting, severs every open relay and waits for the
+// relay goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for Close; it reports false when the
+// proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		sc, err := net.Dial("tcp", p.target)
+		if err != nil {
+			cc.Close()
+			continue
+		}
+		if !p.track(cc) || !p.track(sc) {
+			cc.Close()
+			sc.Close()
+			return
+		}
+		p.wg.Add(2)
+		// Request direction: verbatim. A corrupted request would be
+		// rejected with a terminal 400 and break convergence.
+		go func() {
+			defer p.wg.Done()
+			io.Copy(sc, cc)
+			halfClose(sc)
+		}()
+		// Response direction: through the fault engine.
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(cc)
+			defer p.untrack(sc)
+			p.pump(cc, sc)
+			cc.Close()
+			sc.Close()
+		}()
+	}
+}
+
+// halfClose signals EOF to the peer without tearing down the reverse
+// direction.
+func halfClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}
+
+// pump relays server bytes to the client, one read at a time, drawing
+// a fault decision per chunk.
+func (p *Proxy) pump(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			b := buf[:n]
+			switch p.in.decide(FaultReset, FaultTruncate, FaultCorrupt, FaultDelay) {
+			case FaultReset:
+				// RST, not FIN: zero linger discards the client's view
+				// of a graceful close.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				return
+			case FaultTruncate:
+				dst.Write(b[:p.in.intn(n)])
+				return
+			case FaultCorrupt:
+				b[p.in.intn(n)] ^= 0x04
+			case FaultDelay:
+				time.Sleep(p.in.delay())
+			}
+			if _, err := dst.Write(b); err != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrInjectedReset is the transport-level error a fabricated
+// connection reset surfaces as. It is indistinguishable from a real
+// one to retry classification: not a context error, not an *APIError.
+var ErrInjectedReset = errors.New("chaos: connection reset by peer")
+
+// Transport is a fault-injecting http.RoundTripper. Wrap the real
+// transport with NewTransport and install it on the client under test.
+type Transport struct {
+	in   *injector
+	next http.RoundTripper
+}
+
+// NewTransport wraps next (http.DefaultTransport when nil) with the
+// fault mix of cfg.
+func NewTransport(cfg Config, next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{in: newInjector(cfg), next: next}
+}
+
+// Injected returns the per-kind counts of faults injected so far.
+func (t *Transport) Injected() map[string]int64 { return t.in.injected() }
+
+// Spent reports how much of the fault budget has been consumed.
+func (t *Transport) Spent() int { return t.in.spent() }
+
+// RoundTrip performs one exchange, possibly faulted. Pre-flight faults
+// (reset, fabricated 503, delay) fire before the server sees the
+// request; post-flight faults (truncate, corrupt) mangle the response
+// body of a genuine reply.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.in.decide(FaultReset, Fault5xx, FaultDelay) {
+	case FaultReset:
+		return nil, ErrInjectedReset
+	case Fault5xx:
+		body := `{"version":"v1","error":"chaos: injected overload"}`
+		res := &http.Response{
+			Status:        fmt.Sprintf("%d %s", http.StatusServiceUnavailable, http.StatusText(http.StatusServiceUnavailable)),
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Retry-After": []string{"0"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		return res, nil
+	case FaultDelay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(t.in.delay()):
+		}
+	}
+	res, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch t.in.decide(FaultTruncate, FaultCorrupt) {
+	case FaultTruncate:
+		t.mangleBody(res, true)
+	case FaultCorrupt:
+		t.mangleBody(res, false)
+	}
+	return res, nil
+}
+
+// mangleBody buffers the response body and either cuts it short or
+// flips one byte. Content-Length and the body checksum header are left
+// untouched — the whole point is that they no longer match.
+func (t *Transport) mangleBody(res *http.Response, truncate bool) {
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || len(raw) == 0 {
+		res.Body = io.NopCloser(bytes.NewReader(raw))
+		return
+	}
+	if truncate {
+		raw = raw[:t.in.intn(len(raw))]
+	} else {
+		raw[t.in.intn(len(raw))] ^= 0x04
+	}
+	res.Body = io.NopCloser(bytes.NewReader(raw))
+}

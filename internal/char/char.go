@@ -328,8 +328,9 @@ func (cfg Config) cachePath(s aging.Scenario) string {
 }
 
 // loadCache loads the cached library for s. A nil error means a usable
-// hit. Misses wrap fs.ErrNotExist; entries that exist but fail to parse
-// wrap ErrCacheCorrupt (the caller rebuilds and atomically replaces them).
+// hit. Misses wrap fs.ErrNotExist; entries that exist but fail the
+// trailing checksum or fail to parse wrap ErrCacheCorrupt (the caller
+// rebuilds and atomically replaces them).
 func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, error) {
 	if cfg.CacheDir == "" {
 		return nil, fmt.Errorf("char: cache disabled: %w", fs.ErrNotExist)
@@ -340,14 +341,9 @@ func (cfg Config) loadCache(s aging.Scenario) (*liberty.Library, error) {
 			return nil, err
 		}
 	}
-	f, err := os.Open(path)
+	lib, err := VerifyCacheFile(path)
 	if err != nil {
 		return nil, err
-	}
-	defer f.Close()
-	lib, err := liberty.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrCacheCorrupt, path, err)
 	}
 	// Strict runs never reuse a library with interpolated points: treat
 	// it as a miss so it is recharacterized without salvage (and the
@@ -396,7 +392,7 @@ func (cfg Config) storeCache(s aging.Scenario, lib *liberty.Library) error {
 	if err != nil {
 		return err
 	}
-	if err := liberty.Write(f, lib); err != nil {
+	if err := liberty.WriteSummed(f, lib); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return err

@@ -12,14 +12,14 @@ import (
 )
 
 // TestTruncatedCacheDetected truncates a valid .alib cache entry at every
-// byte boundary and asserts each truncation is detected as
-// ErrCacheCorrupt. The serializer's mandatory ENDLIB terminator makes
-// this exhaustive: any prefix that lost data also lost the terminator (or
-// cut a line mid-token), so no truncation can silently parse as a
-// smaller-but-valid library. The only byte that may be dropped without
-// detection is the final newline, after which the content is still
-// complete. A final round-trip verifies a truncated entry is rebuilt
-// atomically.
+// byte boundary and asserts no truncation that loses library data loads
+// successfully. Prefixes cut before the ENDLIB terminator lost data and
+// must report ErrCacheCorrupt (the serializer's mandatory terminator
+// makes this exhaustive). Prefixes cut inside the trailing checksum line
+// hold the complete library: they must either load (marker gone, data
+// whole) or report corrupt (marker present, digest unverifiable) — never
+// anything else. A final round-trip verifies a truncated entry is
+// rebuilt atomically.
 func TestTruncatedCacheDetected(t *testing.T) {
 	dir := t.TempDir()
 	cfg := TestConfig()
@@ -34,19 +34,32 @@ func TestTruncatedCacheDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(full) == 0 || !strings.HasSuffix(string(full), "ENDLIB\n") {
-		t.Fatalf("unexpected cache serialization (%d bytes)", len(full))
+	endlibEnd := strings.Index(string(full), "ENDLIB\n")
+	if endlibEnd < 0 {
+		t.Fatalf("unexpected cache serialization (%d bytes): no ENDLIB", len(full))
+	}
+	endlibEnd += len("ENDLIB\n")
+	lastLine := string(full[endlibEnd:])
+	if !strings.HasPrefix(lastLine, "#SUM fnv64a ") {
+		t.Fatalf("cache entry does not end with a checksum line (got %q)", lastLine)
 	}
 
-	// Every proper prefix except the one missing only the trailing
-	// newline must fail to load as corrupt.
 	for n := 0; n < len(full)-1; n++ {
 		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		_, lerr := cfg.loadCache(s)
-		if !errors.Is(lerr, ErrCacheCorrupt) {
-			t.Fatalf("truncation at byte %d/%d: got %v, want ErrCacheCorrupt", n, len(full), lerr)
+		// n == endlibEnd-1 keeps "ENDLIB" and drops only its newline: the
+		// scanner still yields the final line, so the data is complete.
+		if n < endlibEnd-1 {
+			// Library data is missing: must be corrupt.
+			if !errors.Is(lerr, ErrCacheCorrupt) {
+				t.Fatalf("truncation at byte %d/%d: got %v, want ErrCacheCorrupt", n, len(full), lerr)
+			}
+		} else if lerr != nil && !errors.Is(lerr, ErrCacheCorrupt) {
+			// Cut inside the checksum line: the library is complete, so a
+			// load is acceptable, as is corrupt — but nothing else.
+			t.Fatalf("checksum-line truncation at byte %d/%d: got %v", n, len(full), lerr)
 		}
 	}
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"time"
 
 	"ageguard/internal/conc"
 	"ageguard/internal/obs"
@@ -44,6 +45,28 @@ func Register(name string, fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.Strict, "strict", false,
 		"fail on non-convergent grid points instead of salvaging by interpolation")
 	return c
+}
+
+// ServeFlags bundles the resilience knobs of the serving daemon:
+// crash-safe warm start, the background cache scrubber and the drain
+// grace window. Registered separately from Common because only
+// daemon-shaped commands carry them.
+type ServeFlags struct {
+	WarmStart     bool
+	ScrubInterval time.Duration
+	DrainGrace    time.Duration
+}
+
+// RegisterServe installs the daemon resilience flags on fs.
+func RegisterServe(fs *flag.FlagSet) *ServeFlags {
+	sf := &ServeFlags{}
+	fs.BoolVar(&sf.WarmStart, "warm-start", true,
+		"verify the disk cache at boot and pre-populate the LRU before reporting ready")
+	fs.DurationVar(&sf.ScrubInterval, "scrub-interval", 0,
+		"re-verify on-disk cache entries at this period, quarantining corrupt files (0 disables)")
+	fs.DurationVar(&sf.DrainGrace, "drain-grace", 0,
+		"keep serving this long after SIGTERM while /readyz reports not-ready")
+	return sf
 }
 
 // Main runs fn under the standard scaffolding: root (mint it in package

@@ -1,0 +1,108 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSummedRoundTrip: WriteSummed output verifies and parses back to
+// the identical library, and the checksum line is the final line.
+func TestSummedRoundTrip(t *testing.T) {
+	l := testLibrary()
+	var buf bytes.Buffer
+	if err := WriteSummed(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, sumMarker) {
+		t.Fatalf("last line %q is not the checksum line", last)
+	}
+	summed, err := VerifySummed(data)
+	if !summed || err != nil {
+		t.Fatalf("VerifySummed = (%v, %v), want (true, nil)", summed, err)
+	}
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != l.Name || len(got.Cells) != len(l.Cells) {
+		t.Errorf("round trip lost data: %q/%d cells vs %q/%d",
+			got.Name, len(got.Cells), l.Name, len(l.Cells))
+	}
+}
+
+// TestSummedDetectsEveryByteFlip: flipping any single byte of the
+// summed region fails verification — the whole point of the trailing
+// checksum over the parser's structural checks, which a numeric digit
+// flip slips past.
+func TestSummedDetectsEveryByteFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummed(&buf, testLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	end := bytes.LastIndex(data, []byte("\n"+sumMarker)) + 1
+	for i := 0; i < end; i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x04
+		summed, err := VerifySummed(mut)
+		if !summed {
+			// The flip destroyed the marker itself; the data region is
+			// then intact and the structural fallback applies.
+			continue
+		}
+		if err == nil {
+			t.Fatalf("flip at byte %d (%q) passed verification", i, data[i])
+		}
+	}
+}
+
+// TestSummedDetectsTruncation: cutting the file anywhere after the
+// marker (so the marker survives) fails verification; cutting before it
+// reports unsummed and falls back to the structural checks.
+func TestSummedDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummed(&buf, testLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	markerEnd := bytes.LastIndex(data, []byte("\n"+sumMarker)) + 1 + len(sumMarker)
+	// len(data)-1 is excluded: dropping only the final newline loses no
+	// data, and the checksum (over the region before the marker) still
+	// rightly verifies.
+	for cut := markerEnd; cut < len(data)-1; cut++ {
+		summed, err := VerifySummed(data[:cut])
+		if !summed || err == nil {
+			t.Fatalf("truncation at %d (of %d) passed: summed=%v err=%v",
+				cut, len(data), summed, err)
+		}
+	}
+	// Cut inside the ENDLIB body: no checksum visible, the parser's
+	// mandatory terminator catches it instead.
+	summed, err := VerifySummed(data[:len(data)/2])
+	if summed || err != nil {
+		t.Fatalf("half file: VerifySummed = (%v, %v), want (false, nil)", summed, err)
+	}
+	if _, err := Read(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("half file parsed successfully")
+	}
+}
+
+// TestLegacyUnsummedFileStillLoads: files written by plain Write (the
+// pre-checksum format) verify as unsummed and parse unchanged.
+func TestLegacyUnsummedFileStillLoads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	summed, err := VerifySummed(buf.Bytes())
+	if summed || err != nil {
+		t.Fatalf("VerifySummed on legacy file = (%v, %v), want (false, nil)", summed, err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("legacy file no longer parses: %v", err)
+	}
+}

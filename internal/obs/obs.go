@@ -108,6 +108,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Inc increments the named counter by one — the Registry side of the
+// one-method metrics interfaces stdlib-only packages (e.g.
+// pkg/ageguard/client) define for themselves, so a registry plugs into
+// them directly.
+func (r *Registry) Inc(name string) { r.Counter(name).Inc() }
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 

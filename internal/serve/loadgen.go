@@ -7,6 +7,7 @@ import (
 	"math"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -194,7 +195,23 @@ func Loadgen(ctx context.Context, cfg Config, lg LoadgenConfig) (*BenchReport, e
 		if err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(lg.Out, append(b, '\n'), 0o644); err != nil {
+		// Atomic temp+rename, like every cache write: a crash mid-write
+		// must never leave a truncated report behind under the real name.
+		f, err := os.CreateTemp(filepath.Dir(lg.Out), filepath.Base(lg.Out)+".tmp*")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Write(append(b, '\n')); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(f.Name())
+			return nil, err
+		}
+		if err := os.Rename(f.Name(), lg.Out); err != nil {
+			os.Remove(f.Name())
 			return nil, err
 		}
 	}

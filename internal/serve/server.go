@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ageguard/internal/conc"
@@ -60,6 +61,22 @@ type Config struct {
 
 	// DrainTimeout bounds the graceful shutdown (default 2m).
 	DrainTimeout time.Duration
+
+	// WarmStart enables the boot-time disk-cache scan: verified library
+	// cache entries for this config hash pre-populate the LRU before
+	// the daemon reports ready, so a restart serves repeat queries from
+	// the warm path instead of re-characterizing.
+	WarmStart bool
+
+	// ScrubInterval, when positive, runs a background scrubber that
+	// re-verifies every on-disk library cache entry each interval and
+	// quarantines corrupt files (renamed with a .corrupt suffix).
+	ScrubInterval time.Duration
+
+	// DrainGrace is how long the daemon keeps serving while advertising
+	// not-ready on /readyz before the listener closes, giving load
+	// balancers time to stop routing to it (default 0: drain at once).
+	DrainGrace time.Duration
 }
 
 func (c *Config) fill() {
@@ -93,6 +110,10 @@ type Server struct {
 
 	slots chan struct{} // work slots, cap MaxInflight
 	queue chan struct{} // admission tickets, cap MaxInflight+QueueDepth
+
+	warmed    chan struct{} // closed when the warm-start scan completes
+	draining  atomic.Bool   // set when the drain begins; clears readiness
+	warmFence chan struct{} // test seam: when non-nil, warm waits on it
 }
 
 // New builds a Server recording its metrics into reg (a fresh registry
@@ -109,6 +130,7 @@ func New(cfg Config, reg *obs.Registry) *Server {
 		cfgHash: fmt.Sprintf("%016x", cfg.Flow.Char.Hash()),
 		slots:   make(chan struct{}, cfg.MaxInflight),
 		queue:   make(chan struct{}, cfg.MaxInflight+cfg.QueueDepth),
+		warmed:  make(chan struct{}),
 	}
 }
 
@@ -125,7 +147,19 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/grid", handleJSON(s, "grid", s.grid))
 	mux.Handle("POST /v1/paths", handleJSON(s, "paths", s.paths))
 
+	// Liveness: the process is up and serving HTTP. Stays 200 through
+	// warm-up and drain — restarts are for dead processes, not busy ones.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// Readiness: route traffic here. 503 until the warm-start scan
+	// completes and again once the drain begins.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.readyNow() {
+			http.Error(w, "warming up or draining", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
@@ -161,12 +195,22 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 // read the port back).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{Handler: s.Handler()}
+	go s.warm(ctx)
+	if s.cfg.ScrubInterval > 0 {
+		go s.scrub(ctx)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	// Flip readiness first and keep serving through the grace window so
+	// load balancers observe not-ready before the listener closes.
+	s.draining.Store(true)
+	if s.cfg.DrainGrace > 0 {
+		time.Sleep(s.cfg.DrainGrace)
 	}
 	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)
 	defer cancel()
@@ -210,10 +254,21 @@ func status(err error) int {
 	}
 }
 
+// writeJSON marshals v up front so the reply can carry an end-to-end
+// body checksum (api.BodySumHeader): clients verify it and retry on
+// mismatch, turning in-transit corruption from a silently wrong answer
+// into a transient error.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.BodySumHeader, api.BodySum(b))
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	w.Write(b)
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -28,7 +29,14 @@ func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) erro
 	if sm.Circuit == "" {
 		sm.Circuit = "RISC-5P"
 	}
+	if cfg.DrainGrace <= 0 {
+		// Long enough for the drain leg below to observe not-ready
+		// before the listener closes.
+		cfg.DrainGrace = 250 * time.Millisecond
+	}
 	s := New(cfg, nil)
+	fence := make(chan struct{})
+	s.warmFence = fence // hold the warm scan so "not ready yet" is observable
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -44,6 +52,21 @@ func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) erro
 	base := "http://" + ln.Addr().String()
 	cl := client.New(base)
 	scen := api.Scenario{Kind: "worst"}
+
+	// expectNotReady asserts /readyz answers 503 while /healthz stays OK
+	// — warming up (before the fence opens) and draining both look like
+	// this to a load balancer.
+	expectNotReady := func() error {
+		if err := cl.Healthz(ctx); err != nil {
+			return fmt.Errorf("liveness lost: %w", err)
+		}
+		err := cl.Readyz(ctx)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("readyz = %v, want 503", err)
+		}
+		return nil
+	}
 
 	step := func(name string, fn func() error) error {
 		t0 := time.Now()
@@ -76,6 +99,21 @@ func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) erro
 		name string
 		fn   func() error
 	}{
+		{"warming", expectNotReady},
+		{"readyz", func() error {
+			close(fence)
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				err := cl.Readyz(ctx)
+				if err == nil {
+					return nil
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("never became ready: %w", err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}},
 		{"healthz", func() error { return cl.Healthz(ctx) }},
 		{"guardband", func() error {
 			resp, err := cl.Guardband(ctx, api.GuardbandRequest{Circuit: sm.Circuit, Scenario: scen})
@@ -129,7 +167,24 @@ func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) erro
 		}
 	}
 
+	// Drain: readiness must flip back to 503 during the grace window
+	// (liveness intact), then Serve must return cleanly.
 	stop()
+	if err := step("draining", func() error {
+		deadline := time.Now().Add(cfg.DrainGrace)
+		for {
+			err := expectNotReady()
+			if err == nil {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}); err != nil {
+		return err
+	}
 	if err := <-done; err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}

@@ -7,11 +7,38 @@
 // Every request and response embeds the protocol version; servers reject
 // requests whose version they do not speak, so a future v2 can change
 // shapes without silently misreading v1 traffic.
+//
+// All /v1 query endpoints are idempotent reads: re-issuing a request —
+// a retry after a transport failure, or a hedged duplicate racing a
+// slow attempt — never changes server state and always converges to
+// the same answer, so clients are free to retry and hedge them.
 package api
+
+import (
+	"fmt"
+	"hash/fnv"
+)
 
 // APIVersion is the protocol generation this package describes. Clients
 // put it in requests; servers echo it in responses.
 const APIVersion = "v1"
+
+// BodySumHeader is the header carrying an end-to-end integrity checksum
+// of the JSON body, computed with BodySum. Servers stamp it on
+// responses; clients verify it when present, so bit corruption in
+// transit — which can turn one valid JSON number into another that no
+// decoder would flag — is detected and the request retried instead of a
+// silently wrong answer being accepted. Absent on replies from servers
+// that predate it; verification is then skipped.
+const BodySumHeader = "Ageguard-Body-Sum"
+
+// BodySum returns the checksum header value for a body: the FNV-1a
+// 64-bit digest of the exact bytes on the wire.
+func BodySum(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("fnv64a %016x", h.Sum64())
+}
 
 // Scenario selects the aging stress a query is evaluated under.
 //

@@ -1,6 +1,15 @@
-// Package client is a thin typed client for the ageguardd HTTP/JSON
+// Package client is a typed client for the ageguardd HTTP/JSON
 // service. It depends only on the standard library and the wire types
 // of pkg/ageguard/api.
+//
+// Resilience is opt-in and layered: WithRetryPolicy re-issues failed
+// queries with capped exponential backoff, full jitter and Retry-After
+// honoring; WithHedgePolicy races a duplicate against a slow attempt;
+// and every response carrying an api.BodySumHeader checksum is verified
+// before it is decoded, so transport-level corruption surfaces as a
+// retryable error instead of a silently wrong answer. Every /v1 query
+// is an idempotent read, which is what makes both retrying and hedging
+// safe.
 package client
 
 import (
@@ -17,11 +26,19 @@ import (
 	"ageguard/pkg/ageguard/api"
 )
 
+// maxBodyBytes bounds how much of any response the client will read;
+// the largest legitimate reply (a deep paths listing) is well under it.
+const maxBodyBytes = 1 << 26
+
 // Client issues queries against one ageguardd instance. The zero value
 // is not usable; construct with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   *RetryPolicy
+	hedge   *HedgePolicy
+	metrics Metrics
+	rng     func() float64
 }
 
 // Option customizes a Client.
@@ -31,10 +48,26 @@ type Option func(*Client)
 // transports, test doubles).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
+// WithRetryPolicy enables retries under p. Without it the client makes
+// exactly one attempt per call, as it always has.
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = &p } }
+
+// WithHedgePolicy enables hedged reads under h (requires h.Delay > 0).
+func WithHedgePolicy(h HedgePolicy) Option { return func(c *Client) { c.hedge = &h } }
+
+// WithMetrics directs the client's client.retry.* / client.hedge.*
+// counters into m (discarded by default).
+func WithMetrics(m Metrics) Option { return func(c *Client) { c.metrics = m } }
+
 // New returns a client for the service at baseURL (e.g.
 // "http://127.0.0.1:8347").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		metrics: noopMetrics{},
+		rng:     defaultRNG,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -58,35 +91,76 @@ func (e *APIError) Error() string {
 // caller should back off for RetryAfter.
 func (e *APIError) Saturated() bool { return e.StatusCode == http.StatusTooManyRequests }
 
-// do posts req to path and decodes the reply into resp.
-func (c *Client) do(ctx context.Context, path string, req, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
+// IntegrityError reports a response whose body failed its end-to-end
+// checksum or was not valid JSON — corruption or truncation in transit.
+// It is always retryable.
+type IntegrityError struct {
+	Path   string
+	Reason string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("ageguardd: %s: corrupt response body: %s", e.Path, e.Reason)
+}
+
+// attempt performs one HTTP exchange and returns the verified body
+// bytes of a 200 reply. Non-2xx replies return *APIError; checksum or
+// JSON-validity failures return *IntegrityError.
+func (c *Client) attempt(ctx context.Context, path string, body []byte) ([]byte, error) {
+	if c.retry != nil && c.retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		defer cancel()
 	}
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
 	res, err := c.hc.Do(hr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer res.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(res.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
 	if res.StatusCode != http.StatusOK {
 		apiErr := &APIError{StatusCode: res.StatusCode}
 		var eb api.ErrorResponse
-		if json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&eb) == nil {
+		if json.Unmarshal(raw, &eb) == nil {
 			apiErr.Message = eb.Error
 		}
 		if s, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil {
 			apiErr.RetryAfter = time.Duration(s) * time.Second
 		}
-		return apiErr
+		return nil, apiErr
 	}
-	return json.NewDecoder(res.Body).Decode(resp)
+	if sum := res.Header.Get(api.BodySumHeader); sum != "" && sum != api.BodySum(raw) {
+		return nil, &IntegrityError{Path: path, Reason: "checksum mismatch"}
+	}
+	if !json.Valid(raw) {
+		// Old servers send no checksum; invalid JSON still betrays a
+		// truncated or corrupted body.
+		return nil, &IntegrityError{Path: path, Reason: "invalid JSON"}
+	}
+	return raw, nil
+}
+
+// do posts req to path through the retry/hedge machinery and decodes
+// the winning reply into resp.
+func (c *Client) do(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	raw, err := c.exchange(ctx, path, body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, resp)
 }
 
 // Guardband queries the fresh/aged critical paths and guardband of a
@@ -138,9 +212,9 @@ func (c *Client) Paths(ctx context.Context, req api.PathsRequest) (*api.PathsRes
 	return &resp, nil
 }
 
-// Healthz probes the liveness endpoint.
-func (c *Client) Healthz(ctx context.Context) error {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+// probe issues a bare GET and maps non-200 to *APIError.
+func (c *Client) probe(ctx context.Context, path string) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
 	}
@@ -149,8 +223,18 @@ func (c *Client) Healthz(ctx context.Context) error {
 		return err
 	}
 	defer res.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(res.Body, 1<<16))
 	if res.StatusCode != http.StatusOK {
-		return &APIError{StatusCode: res.StatusCode, Message: "healthz"}
+		return &APIError{StatusCode: res.StatusCode, Message: strings.TrimPrefix(path, "/")}
 	}
 	return nil
 }
+
+// Healthz probes liveness: the process is up and serving HTTP.
+func (c *Client) Healthz(ctx context.Context) error { return c.probe(ctx, "/healthz") }
+
+// Readyz probes readiness: the daemon has finished its warm-start scan
+// and is not draining. Load balancers route only to ready instances; a
+// non-200 returns *APIError with the status (503 while warming or
+// draining).
+func (c *Client) Readyz(ctx context.Context) error { return c.probe(ctx, "/readyz") }

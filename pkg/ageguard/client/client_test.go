@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -54,5 +56,55 @@ func TestAPIErrorCarriesStatusAndRetryAfter(t *testing.T) {
 	}
 	if !apiErr.Saturated() || apiErr.RetryAfter != 3*time.Second || apiErr.Message != "saturated" {
 		t.Errorf("apiErr = %+v", apiErr)
+	}
+}
+
+// TestAPIErrorStatusTable drives every status class through a real
+// server and checks the derived views in one place: Saturated() is
+// exactly 429, retryability is 429 + 5xx, and the message survives the
+// wire round-trip.
+func TestAPIErrorStatusTable(t *testing.T) {
+	cases := []struct {
+		status    int
+		saturated bool
+		retryable bool
+	}{
+		{http.StatusBadRequest, false, false},
+		{http.StatusNotFound, false, false},
+		{http.StatusGone, false, false},
+		{http.StatusTooManyRequests, true, true},
+		{http.StatusInternalServerError, false, true},
+		{http.StatusBadGateway, false, true},
+		{http.StatusServiceUnavailable, false, true},
+		{http.StatusGatewayTimeout, false, true},
+	}
+	for _, tc := range cases {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(tc.status)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Version: api.APIVersion, Error: "boom"})
+		}))
+		_, err := New(srv.URL).Guardband(context.Background(),
+			api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+		srv.Close()
+
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%d: err = %v, want *APIError", tc.status, err)
+		}
+		if apiErr.StatusCode != tc.status || apiErr.Message != "boom" {
+			t.Errorf("%d: apiErr = %+v", tc.status, apiErr)
+		}
+		if apiErr.RetryAfter != 0 {
+			t.Errorf("%d: RetryAfter = %v without a header", tc.status, apiErr.RetryAfter)
+		}
+		if got := apiErr.Saturated(); got != tc.saturated {
+			t.Errorf("%d: Saturated() = %v, want %v", tc.status, got, tc.saturated)
+		}
+		if got := Retryable(err); got != tc.retryable {
+			t.Errorf("%d: Retryable() = %v, want %v", tc.status, got, tc.retryable)
+		}
+		if !strings.Contains(apiErr.Error(), strconv.Itoa(tc.status)) {
+			t.Errorf("%d: Error() = %q lacks the status code", tc.status, apiErr.Error())
+		}
 	}
 }

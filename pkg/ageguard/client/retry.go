@@ -1,0 +1,257 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds how the client re-issues failed queries. Every
+// /v1 endpoint is an idempotent read (see pkg/ageguard/api), so
+// retrying is always safe; the policy only decides how hard to try.
+//
+// Backoff is capped exponential with full jitter: before retry k the
+// client sleeps a uniformly random duration in [0, min(MaxDelay,
+// BaseDelay<<k)), which decorrelates a herd of clients that failed
+// together (e.g. all shed by one saturated daemon). A server-provided
+// Retry-After hint raises the sleep floor to the hinted duration — the
+// daemon knows its queue better than the client's dice do.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 4; negative means exactly one attempt, i.e. no retries).
+	MaxAttempts int
+
+	// BaseDelay caps the first backoff sleep (default 50ms); MaxDelay
+	// caps every later one (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	// AttemptTimeout, when positive, bounds each individual attempt
+	// with its own deadline nested under the caller's context — a hung
+	// connection burns one attempt, not the whole call budget.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy returns the zero policy, which resolves to 4
+// attempts, 50ms initial backoff capped at 2s, and no per-attempt
+// timeout. Pass it to WithRetryPolicy to opt a client into retries.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{} }
+
+func (p RetryPolicy) attempts() int {
+	switch {
+	case p.MaxAttempts > 0:
+		return p.MaxAttempts
+	case p.MaxAttempts < 0:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// backoff returns the full-jitter sleep before retry k (0-based).
+func (p RetryPolicy) backoff(k int, rng func() float64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	cap := max
+	if k < 30 && base<<k < max {
+		cap = base << k
+	}
+	return time.Duration(rng() * float64(cap))
+}
+
+// HedgePolicy enables hedged reads: when an attempt has produced no
+// reply within Delay, an identical duplicate is launched and the first
+// reply wins (the loser is canceled). Hedging trades a bounded amount
+// of duplicate work for tail latency — a query stuck behind one slow
+// connection or one saturated server completes via the duplicate
+// instead of waiting out the straggler. Safe because every query is an
+// idempotent read.
+type HedgePolicy struct {
+	// Delay is how long an attempt may stay unanswered before a hedge
+	// launches. Zero disables hedging.
+	Delay time.Duration
+
+	// Max bounds the extra in-flight duplicates per attempt (default 1).
+	Max int
+}
+
+func (h HedgePolicy) max() int {
+	if h.Max <= 0 {
+		return 1
+	}
+	return h.Max
+}
+
+// Metrics is the counter sink the client reports into, named after the
+// repository's §7 scheme (client.retry.*, client.hedge.*). The obs
+// registry satisfies it; the default discards. Implementations must be
+// safe for concurrent use.
+type Metrics interface {
+	Inc(name string)
+}
+
+type noopMetrics struct{}
+
+func (noopMetrics) Inc(string) {}
+
+// Retryable classifies an error from a query: true means a retry may
+// succeed (transport failures — connection resets, refused connections,
+// truncated or corrupted bodies — and 429/5xx server replies), false
+// means the request itself is at fault (any other 4xx) or the caller's
+// context is done.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == 429 || apiErr.StatusCode >= 500
+	}
+	// Everything below the API layer — dial errors, resets mid-body,
+	// malformed HTTP, integrity failures — is transient by assumption:
+	// the server never speaks non-HTTP on purpose.
+	return true
+}
+
+// shouldRetry decides whether the retry loop goes around again: the
+// caller's context must still be live, and the error must either be
+// generally retryable or a per-attempt deadline (the attempt timed out
+// but the call as a whole has budget left).
+func shouldRetry(parent context.Context, err error) bool {
+	if parent.Err() != nil {
+		return false
+	}
+	return Retryable(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// exchange runs the retry loop around roundTrip and returns the winning
+// attempt's verified body bytes.
+func (c *Client) exchange(ctx context.Context, path string, body []byte) ([]byte, error) {
+	max := 1
+	if c.retry != nil {
+		max = c.retry.attempts()
+	}
+	var err error
+	for a := 0; a < max; a++ {
+		if a > 0 {
+			c.metrics.Inc("client.retry.retries")
+			if werr := c.backoffWait(ctx, a-1, err); werr != nil {
+				return nil, err // context died mid-backoff; report the real failure
+			}
+		}
+		c.metrics.Inc("client.retry.attempts")
+		var raw []byte
+		raw, err = c.roundTrip(ctx, path, body)
+		if err == nil {
+			return raw, nil
+		}
+		if !shouldRetry(ctx, err) {
+			return nil, err
+		}
+	}
+	if max > 1 {
+		c.metrics.Inc("client.retry.exhausted")
+		return nil, fmt.Errorf("client: %d attempts exhausted: %w", max, err)
+	}
+	return nil, err
+}
+
+// backoffWait sleeps the jittered backoff before retry k, honoring a
+// Retry-After hint carried by the previous failure as the floor, and
+// returns early if ctx is done.
+func (c *Client) backoffWait(ctx context.Context, k int, lastErr error) error {
+	d := c.retry.backoff(k, c.rng)
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// roundTrip performs one logical attempt: a single HTTP exchange, or a
+// hedged race of up to 1+Max identical exchanges when hedging is
+// configured.
+func (c *Client) roundTrip(ctx context.Context, path string, body []byte) ([]byte, error) {
+	h := c.hedge
+	if h == nil || h.Delay <= 0 {
+		return c.attempt(ctx, path, body)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // losers are canceled as soon as a winner returns
+
+	type result struct {
+		raw    []byte
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 1+h.max())
+	launch := func(hedged bool) {
+		go func() {
+			raw, err := c.attempt(hctx, path, body)
+			ch <- result{raw, err, hedged}
+		}()
+	}
+	launch(false)
+	inflight, launched := 1, 0
+	timer := time.NewTimer(h.Delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedged {
+					c.metrics.Inc("client.hedge.won")
+				}
+				return r.raw, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 {
+				// Everything in flight failed; further hedges would only
+				// repeat the same attempt — that is the retry loop's job,
+				// with backoff.
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if launched < h.max() {
+				launched++
+				inflight++
+				c.metrics.Inc("client.hedge.launched")
+				launch(true)
+				if launched < h.max() {
+					timer.Reset(h.Delay)
+				}
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// defaultRNG is the jitter source (the shared math/rand generator is
+// concurrency-safe); tests substitute a deterministic one.
+func defaultRNG() float64 { return rand.Float64() }

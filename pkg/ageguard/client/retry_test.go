@@ -1,0 +1,354 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ageguard/pkg/ageguard/api"
+)
+
+// testMetrics is a concurrency-safe Metrics capture.
+type testMetrics struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newTestMetrics() *testMetrics { return &testMetrics{m: map[string]int{}} }
+
+func (t *testMetrics) Inc(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[name]++
+}
+
+func (t *testMetrics) get(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[name]
+}
+
+// TestRetryableClassification: the status→classification table. 429 and
+// every 5xx are retryable, every other 4xx is terminal, transport and
+// integrity errors are retryable, context errors are not.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"400", &APIError{StatusCode: 400}, false},
+		{"403", &APIError{StatusCode: 403}, false},
+		{"404", &APIError{StatusCode: 404}, false},
+		{"429", &APIError{StatusCode: 429}, true},
+		{"500", &APIError{StatusCode: 500}, true},
+		{"502", &APIError{StatusCode: 502}, true},
+		{"503", &APIError{StatusCode: 503}, true},
+		{"504", &APIError{StatusCode: 504}, true},
+		{"wrapped 503", fmt.Errorf("query: %w", &APIError{StatusCode: 503}), true},
+		{"wrapped 404", fmt.Errorf("query: %w", &APIError{StatusCode: 404}), false},
+		{"integrity", &IntegrityError{Path: "/v1/guardband", Reason: "checksum mismatch"}, true},
+		{"transport", errors.New("read tcp 127.0.0.1:1->127.0.0.1:2: connection reset by peer"), true},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped canceled", fmt.Errorf("do: %w", context.Canceled), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRetriesUntilSuccess: two 503s then a good reply — the client
+// converges and the counters record two retries and no exhaustion.
+func TestRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Version: api.APIVersion, Error: "warming"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.GuardbandResponse{Version: api.APIVersion, Circuit: "DSP", GuardbandS: 1e-10})
+	}))
+	defer srv.Close()
+
+	tm := newTestMetrics()
+	cl := New(srv.URL,
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}),
+		WithMetrics(tm))
+	resp, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GuardbandS != 1e-10 {
+		t.Errorf("decoded %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if tm.get("client.retry.retries") != 2 || tm.get("client.retry.attempts") != 3 {
+		t.Errorf("metrics = %v", tm.m)
+	}
+	if tm.get("client.retry.exhausted") != 0 {
+		t.Error("exhausted counted on a successful call")
+	}
+}
+
+// TestTerminal4xxNotRetried: a 404 returns immediately after one
+// attempt.
+func TestTerminal4xxNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Version: api.APIVersion, Error: "unknown circuit"})
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	_, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "NOPE", Scenario: api.Scenario{Kind: "worst"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("err = %v, want 404", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want exactly 1", got)
+	}
+}
+
+// TestRetriesExhausted: a permanently failing server burns MaxAttempts
+// and reports exhaustion wrapping the last error.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	tm := newTestMetrics()
+	cl := New(srv.URL,
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}),
+		WithMetrics(tm))
+	_, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 500 {
+		t.Fatalf("err = %v, want wrapped 500", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if tm.get("client.retry.exhausted") != 1 {
+		t.Errorf("metrics = %v", tm.m)
+	}
+}
+
+// TestPerAttemptTimeout: the first attempt hangs past AttemptTimeout,
+// the retry succeeds — the call survives inside the caller's budget.
+func TestPerAttemptTimeout(t *testing.T) {
+	var calls atomic.Int32
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-block:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(api.GuardbandResponse{Version: api.APIVersion, Circuit: "DSP"})
+	}))
+	defer srv.Close()
+	defer close(block) // LIFO: release the hung handler before Close waits on it
+
+	cl := New(srv.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, AttemptTimeout: 100 * time.Millisecond,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Guardband(ctx, api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}}); err != nil {
+		t.Fatalf("call did not survive a hung attempt: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestCallerDeadlineTerminal: when the caller's own context expires,
+// the client stops instead of retrying into a dead deadline.
+func TestCallerDeadlineTerminal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Stall well past the caller's deadline. (Not on r.Context():
+		// with an unconsumed POST body the server never cancels it.)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond}))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := cl.Guardband(ctx, api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Error("client kept retrying long past the caller's deadline")
+	}
+}
+
+// TestRetryAfterRaisesBackoffFloor: backoffWait sleeps at least the
+// server's Retry-After hint even when the jittered backoff is smaller.
+func TestRetryAfterRaisesBackoffFloor(t *testing.T) {
+	cl := New("http://unused",
+		WithRetryPolicy(RetryPolicy{BaseDelay: time.Nanosecond, MaxDelay: time.Nanosecond}))
+	cl.rng = func() float64 { return 0 } // jitter would pick zero sleep
+	hint := 30 * time.Millisecond
+	t0 := time.Now()
+	if err := cl.backoffWait(context.Background(), 0, &APIError{StatusCode: 429, RetryAfter: hint}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < hint {
+		t.Errorf("slept %v, want at least the Retry-After hint %v", d, hint)
+	}
+}
+
+// TestBackoffCappedFullJitter: the sleep for retry k is uniform in
+// [0, min(MaxDelay, BaseDelay<<k)) — never above the cap.
+func TestBackoffCappedFullJitter(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	one := func() float64 { return 0.999999 }
+	for k, wantCap := range []time.Duration{10, 20, 40, 40, 40} {
+		wantCap *= time.Millisecond
+		if d := p.backoff(k, one); d > wantCap {
+			t.Errorf("backoff(%d) = %v, cap %v", k, d, wantCap)
+		}
+	}
+	if d := p.backoff(3, func() float64 { return 0 }); d != 0 {
+		t.Errorf("zero jitter should sleep zero, got %v", d)
+	}
+	// Far rungs must not overflow the shift.
+	if d := p.backoff(62, one); d > 40*time.Millisecond {
+		t.Errorf("backoff(62) = %v exceeds MaxDelay", d)
+	}
+}
+
+// TestCorruptBodyRetried: a response whose body does not match its
+// checksum header is rejected as *IntegrityError and retried.
+func TestCorruptBodyRetried(t *testing.T) {
+	var calls atomic.Int32
+	good, _ := json.Marshal(api.GuardbandResponse{Version: api.APIVersion, Circuit: "DSP", GuardbandS: 2e-10})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.BodySumHeader, api.BodySum(good))
+		if calls.Add(1) == 1 {
+			bad := append([]byte(nil), good...)
+			bad[len(bad)/2] ^= 0x20 // flipped in transit; header still promises `good`
+			w.Write(bad)
+			return
+		}
+		w.Write(good)
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	resp, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GuardbandS != 2e-10 {
+		t.Errorf("decoded %+v from corrupt exchange", resp)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestTruncatedBodyRetried: a body cut short of its Content-Length is a
+// transport error and retried.
+func TestTruncatedBodyRetried(t *testing.T) {
+	var calls atomic.Int32
+	good, _ := json.Marshal(api.GuardbandResponse{Version: api.APIVersion, Circuit: "DSP"})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Content-Length", fmt.Sprint(len(good)))
+			w.Write(good[:len(good)/2])
+			// Returning now closes the connection mid-body.
+			return
+		}
+		w.Write(good)
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	if _, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}}); err != nil {
+		t.Fatalf("truncated body not recovered: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestHedgeWinsOverStraggler: the primary attempt hangs, the hedge
+// answers — the call returns at hedge latency, not straggler latency,
+// and the win is counted.
+func TestHedgeWinsOverStraggler(t *testing.T) {
+	var calls atomic.Int32
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // straggler: never answers, released at test end
+			case <-block:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(api.GuardbandResponse{Version: api.APIVersion, Circuit: "DSP"})
+	}))
+	defer srv.Close()
+	defer close(block) // LIFO: release the straggler before Close waits on it
+
+	tm := newTestMetrics()
+	cl := New(srv.URL,
+		WithHedgePolicy(HedgePolicy{Delay: 20 * time.Millisecond}),
+		WithMetrics(tm))
+	t0 := time.Now()
+	if _, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Errorf("hedged call took %v — the straggler was waited out", d)
+	}
+	if tm.get("client.hedge.launched") != 1 || tm.get("client.hedge.won") != 1 {
+		t.Errorf("hedge metrics = %v", tm.m)
+	}
+}
+
+// TestHedgeNotLaunchedWhenFast: a prompt reply never triggers hedging.
+func TestHedgeNotLaunchedWhenFast(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.GuardbandResponse{Version: api.APIVersion, Circuit: "DSP"})
+	}))
+	defer srv.Close()
+
+	tm := newTestMetrics()
+	cl := New(srv.URL, WithHedgePolicy(HedgePolicy{Delay: 5 * time.Second}), WithMetrics(tm))
+	if _, err := cl.Guardband(context.Background(), api.GuardbandRequest{Circuit: "DSP", Scenario: api.Scenario{Kind: "worst"}}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.get("client.hedge.launched") != 0 {
+		t.Errorf("hedge launched on a fast reply: %v", tm.m)
+	}
+}

@@ -37,6 +37,7 @@ verify:
 	$(GO) test -race ./...
 	BENCH_PR4_OUT=$$(mktemp) BENCH_PR4_ITERS=1 $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1
 	BENCH_PR6_OUT=$$(mktemp) BENCH_PR6_ITERS=1 $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1
+	BENCH_PR9_OUT=$$(mktemp) BENCH_PR9_ITERS=1 $(GO) test ./internal/serve/ -run TestBenchPR9Emit -count=1
 	$(MAKE) chaos
 	$(MAKE) serve-smoke
 
@@ -54,7 +55,11 @@ serve-smoke:
 #                    allocation counts vs the pre-PR6 finite-difference
 #                    solver (plus a small Characterize wall clock);
 #   BENCH_PR7.json — ageguardd cold-vs-warm guardband query latency over
-#                    real HTTP (see EXPERIMENTS.md, "BENCH_PR7").
+#                    real HTTP (see EXPERIMENTS.md, "BENCH_PR7");
+#   BENCH_PR9.json — one warm /v1/batch request of 32 heterogeneous items
+#                    vs the same items as sequential singles, cold and
+#                    warm, with bit-identity asserted per item (see
+#                    EXPERIMENTS.md, "BENCH_PR9").
 # The checked-in files are the reference results; regenerate after
 # touching the engines and commit the update if the speedups moved.
 bench:
@@ -62,14 +67,17 @@ bench:
 	BENCH_PR6_OUT=$(CURDIR)/BENCH_PR6.json $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1 -v
 	$(GO) run ./cmd/ageguardd -quick -cache $$(mktemp -d) -loadgen \
 		-loadgen-requests 200 -loadgen-conc 4 -bench-out $(CURDIR)/BENCH_PR7.json
+	BENCH_PR9_OUT=$(CURDIR)/BENCH_PR9.json $(GO) test ./internal/serve/ -run TestBenchPR9Emit -count=1 -v
 	$(GO) test ./internal/char/ -run XXX -bench 'BenchmarkArcTransient|BenchmarkCharacterizeINVX1' -benchtime 1s
 
 # chaos runs the end-to-end fault-injection suite under the race
 # detector: a retrying/hedging client driven through a seeded TCP proxy
 # and a fault-injecting transport (resets, truncation, corruption,
 # latency, forced 5xx) must converge to the bit-identical fault-free
-# answers, leave no corrupt or partial cache files behind, and a
-# warm-restarted daemon must serve repeat queries without
+# answers — for single queries and for heterogeneous /v1/batch
+# requests, whose per-item answers must match their single-request
+# baselines bit for bit — leave no corrupt or partial cache files
+# behind, and a warm-restarted daemon must serve repeat queries without
 # re-characterizing. Runs as part of verify.
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/

@@ -9,9 +9,12 @@
 //	ageguardd -quick                         # reduced 3x3 grid, smoke/dev
 //	ageguardd -quick -smoke                  # one query per endpoint, then drain
 //	ageguardd -loadgen -bench-out BENCH_PR7.json
+//	ageguardd -quick -loadgen-batch -bench-out BENCH_PR9.json
 //
-// Endpoints: POST /v1/guardband, /v1/celltiming, /v1/grid, /v1/paths;
-// GET /healthz (liveness), /readyz (readiness: 503 until the
+// Endpoints: POST /v1/guardband, /v1/celltiming, /v1/grid, /v1/paths,
+// /v1/batch (heterogeneous items, planned server-side so shared
+// subproblems characterize once); GET /healthz (liveness), /readyz
+// (readiness: 503 until the
 // -warm-start scan completes and again while draining), /metrics
 // (text), /metrics.json, /debug/pprof.
 //
@@ -26,9 +29,12 @@
 //
 // -loadgen benchmarks the daemon against itself on a loopback listener:
 // one cold guardband query (the work of a cold CLI invocation) versus
-// the warm-cache latency distribution, written to -bench-out. -smoke
-// boots the daemon the same way, issues one query per endpoint and
-// asserts success plus a clean drain (the make serve-smoke / CI gate).
+// the warm-cache latency distribution, written to -bench-out.
+// -loadgen-batch measures one /v1/batch request against the same items
+// issued as sequential singles, cold and warm (the BENCH_PR9.json
+// producer). -smoke boots the daemon the same way, issues one query per
+// endpoint (including a heterogeneous batch) and asserts success plus a
+// clean drain (the make serve-smoke / CI gate).
 package main
 
 import (
@@ -63,6 +69,10 @@ func main() {
 		lgConc    = flag.Int("loadgen-conc", 4, "loadgen concurrent clients")
 		lgCircuit = flag.String("loadgen-circuit", "RISC-5P", "loadgen benchmark circuit")
 		benchOut  = flag.String("bench-out", "BENCH_PR7.json", "loadgen report path")
+
+		loadgenBatch = flag.Bool("loadgen-batch", false, "benchmark /v1/batch against sequential singles instead of serving")
+		lgbItems     = flag.Int("loadgen-batch-items", 32, "loadgen-batch heterogeneous item count")
+		lgbIters     = flag.Int("loadgen-batch-iters", 5, "loadgen-batch warm-phase repetitions (best-of)")
 	)
 	c := cli.Register("ageguardd", flag.CommandLine)
 	sf := cli.RegisterServe(flag.CommandLine)
@@ -97,6 +107,27 @@ func main() {
 				return err
 			}
 			fmt.Println("serve smoke OK")
+			return nil
+		}
+		if *loadgenBatch {
+			rep, err := serve.LoadgenBatch(ctx, cfg, serve.BatchLoadgenConfig{
+				Items:   *lgbItems,
+				Iters:   *lgbIters,
+				Circuit: *lgCircuit,
+				Out:     *benchOut,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cold singles / batch %8.3f / %.3f s  (%.2fx)\n",
+				rep.ColdSinglesS, rep.ColdBatchS, rep.ColdBatchVsSingles)
+			fmt.Printf("warm singles / batch %8.5f / %.5f s  (%.2fx)\n",
+				rep.WarmSinglesS, rep.WarmBatchS, rep.WarmBatchVsSingles)
+			fmt.Printf("unique fills         %8d  for %d items\n", rep.UniqueFills, rep.BatchItems)
+			fmt.Printf("items bit-identical  %8v\n", rep.ItemsBitIdentical)
+			if *benchOut != "" {
+				fmt.Printf("wrote %s\n", *benchOut)
+			}
 			return nil
 		}
 		if *loadgen {

@@ -70,6 +70,36 @@ func (s Scenario) WithLambda(lp, ln float64) Scenario {
 	return s
 }
 
+// Validate reports whether the scenario is physically meaningful:
+// every field finite, lifetime non-negative, duty cycles in [0, 1].
+// NaN must be rejected by name — it slips through plain range
+// comparisons (every comparison involving NaN is false), which is
+// exactly how an unguarded workload-derived duty cycle used to reach
+// the degradation model and poison every downstream delay.
+func (s Scenario) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"years", s.Years},
+		{"temp_k", s.TempK},
+		{"vdd", s.Vdd},
+		{"lambda_p", s.LambdaP},
+		{"lambda_n", s.LambdaN},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("aging: scenario %s = %g is not finite", f.name, f.v)
+		}
+	}
+	if s.Years < 0 {
+		return fmt.Errorf("aging: negative lifetime %g years", s.Years)
+	}
+	if s.LambdaP < 0 || s.LambdaP > 1 || s.LambdaN < 0 || s.LambdaN > 1 {
+		return fmt.Errorf("aging: duty cycles (%g, %g) outside [0, 1]", s.LambdaP, s.LambdaN)
+	}
+	return nil
+}
+
 // IsFresh reports whether the scenario involves no aging at all.
 func (s Scenario) IsFresh() bool {
 	return s.Years == 0 || (s.LambdaP == 0 && s.LambdaN == 0)

@@ -184,3 +184,33 @@ func TestDegradationString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestScenarioValidate(t *testing.T) {
+	good := []Scenario{
+		Fresh(),
+		WorstCase(10),
+		BalanceCase(10),
+		WorstCase(10).WithLambda(0, 1),
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: unexpected Validate error: %v", s, err)
+		}
+	}
+	bad := []Scenario{
+		WorstCase(10).WithLambda(math.NaN(), 0.5),
+		WorstCase(10).WithLambda(0.5, math.NaN()),
+		WorstCase(10).WithLambda(math.Inf(1), 0.5),
+		WorstCase(10).WithLambda(-0.1, 0.5),
+		WorstCase(10).WithLambda(0.5, 1.1),
+		WorstCase(-1),
+		{Years: math.NaN(), TempK: units.RoomTempK, Vdd: 1.1},
+		{Years: 10, TempK: math.Inf(-1), Vdd: 1.1},
+		{Years: 10, TempK: units.RoomTempK, Vdd: math.NaN()},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%v: Validate accepted an invalid scenario", s)
+		}
+	}
+}

@@ -299,6 +299,87 @@ func TestWarmRestartAfterChaos(t *testing.T) {
 	}
 }
 
+// TestBatchConvergesThroughChaos drives a heterogeneous /v1/batch
+// workload through the chaos proxy and requires every per-item answer
+// to converge to the bit-identical fault-free single-request baseline,
+// with no damage to the on-disk cache. This covers the whole batched
+// read path under faults: the wire exchange (checksum + retry), the
+// client's partial re-dispatch of failed items, and the server-side
+// planner and response memo — a memoized reply that diverged from the
+// single-request answer by even one byte would fail here.
+func TestBatchConvergesThroughChaos(t *testing.T) {
+	dir := sharedDir(t)
+	addr, _, stop := startDaemon(t, dir, false)
+	defer stop()
+
+	direct := client.New("http://" + addr)
+	waitReady(t, direct)
+	scen := api.Scenario{Kind: "worst", Years: 10}
+	items := []api.BatchItem{
+		api.GuardbandItem(api.GuardbandRequest{Circuit: testCircuit, Scenario: scen}),
+		api.CellTimingItem(api.CellTimingRequest{
+			Cell: "INV_X1", Scenario: scen, InSlewS: 20e-12, LoadF: 2e-15,
+		}),
+		api.PathsItem(api.PathsRequest{Circuit: testCircuit, Scenario: scen, K: 2}),
+		api.GuardbandItem(api.GuardbandRequest{Circuit: testCircuit, Scenario: scen}),
+	}
+
+	// Fault-free baseline: the same items as single requests.
+	want := make([]api.BatchItemResult, len(items))
+	for i, it := range items {
+		var err error
+		switch it.Kind {
+		case api.BatchGuardband:
+			want[i].Guardband, err = direct.Guardband(context.Background(), *it.Guardband)
+		case api.BatchCellTiming:
+			want[i].CellTiming, err = direct.CellTiming(context.Background(), *it.CellTiming)
+		default:
+			want[i].Paths, err = direct.Paths(context.Background(), *it.Paths)
+		}
+		if err != nil {
+			t.Fatalf("baseline item %d: %v", i, err)
+		}
+	}
+
+	proxy, err := chaos.NewProxy(addr, chaos.Config{
+		Seed:      11,
+		Budget:    25,
+		PReset:    0.15,
+		PTruncate: 0.15,
+		PCorrupt:  0.2,
+		PDelay:    0.1,
+		MaxDelay:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cl := client.New("http://"+proxy.Addr(),
+		WithFreshConnections(),
+		client.WithRetryPolicy(chaosRetry()))
+	for i := 0; i < 25; i++ {
+		got, err := cl.Batch(context.Background(), items)
+		if err != nil {
+			t.Fatalf("batch %d never converged: %v", i, err)
+		}
+		for j := range want {
+			if e := got.Items[j].Error; e != nil {
+				t.Fatalf("batch %d item %d failed under chaos: %d %s", i, j, e.Status, e.Message)
+			}
+			if !reflect.DeepEqual(got.Items[j], want[j]) {
+				t.Fatalf("batch %d item %d diverged under chaos:\n got %+v\nwant %+v",
+					i, j, got.Items[j], want[j])
+			}
+		}
+	}
+	if proxy.Spent() == 0 {
+		t.Error("proxy injected no faults — the run proved nothing")
+	}
+	t.Logf("proxy faults injected: %v", proxy.Injected())
+	auditCacheDir(t, dir)
+}
+
 // WithFreshConnections disables keep-alive pooling so every attempt
 // dials the proxy anew — a mid-stream RST otherwise poisons a pooled
 // connection and the next attempt can fail before the proxy sees it.

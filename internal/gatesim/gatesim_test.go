@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"ageguard/internal/aging"
+	"ageguard/internal/cells"
 	"ageguard/internal/char"
 	"ageguard/internal/liberty"
 	"ageguard/internal/netlist"
@@ -310,5 +311,35 @@ func TestVCDIdentifiers(t *testing.T) {
 	}
 	if vcdName("y0[13]") != "y0(13)" {
 		t.Errorf("vcdName = %q", vcdName("y0[13]"))
+	}
+}
+
+func TestLambdasForConstantCell(t *testing.T) {
+	// A zero-input tie cell used to divide by len(inputs) == 0 and emit
+	// NaN duty cycles into the aging scenarios. Stress follows the tied
+	// output level instead: tie-high means full nMOS stress, tie-low full
+	// pMOS stress.
+	inst := func(net string) *netlist.Inst {
+		return &netlist.Inst{Name: "t", Cell: "TIE", Pins: map[string]string{"Z": net}}
+	}
+	prob := map[string]float64{"one": 1, "zero": 0}
+	high := lambdasFor(&cells.Cell{Name: "TIEH_X1", Output: "Z"}, inst("one"), prob)
+	if math.IsNaN(high.P) || math.IsNaN(high.N) {
+		t.Fatalf("tie-high lambdas are NaN: %+v", high)
+	}
+	if high.N != 1 || high.P != 0 {
+		t.Errorf("tie-high lambdas = %+v, want N=1 P=0", high)
+	}
+	low := lambdasFor(&cells.Cell{Name: "TIEL_X1", Output: "Z"}, inst("zero"), prob)
+	if low.N != 0 || low.P != 1 {
+		t.Errorf("tie-low lambdas = %+v, want N=0 P=1", low)
+	}
+}
+
+func TestAnnotatedScenariosRejectNaN(t *testing.T) {
+	// Even if a NaN duty cycle reaches annotation, scenario validation
+	// refuses to characterize it.
+	if err := aging.WorstCase(10).WithLambda(math.NaN(), 0.5).Validate(); err == nil {
+		t.Error("Validate accepted a NaN duty cycle")
 	}
 }

@@ -248,13 +248,27 @@ func DeriveLambdas(nl *netlist.Netlist, prob map[string]float64) (map[string]net
 		if err != nil {
 			return nil, err
 		}
-		var sum float64
-		pins := c.Inputs
-		for _, p := range pins {
-			sum += prob[in.Pins[p]]
-		}
-		pn := sum / float64(len(pins))
-		out[in.Name] = netlist.Lambdas{P: 1 - pn, N: pn}
+		out[in.Name] = lambdasFor(c, in, prob)
 	}
 	return out, nil
+}
+
+// lambdasFor derives one instance's duty cycles from its input signal
+// probabilities. Cells with no inputs (tie-high/tie-low) would divide
+// by zero under the mean-over-inputs rule and emit NaN; their devices
+// instead sit at the tied output level the whole time, so the stress
+// follows that level: a tie-high output holds every driven gate input
+// at 1 (full nMOS stress downstream, and the cell's own pull-up network
+// conducts continuously), symmetrically for tie-low.
+func lambdasFor(c *cells.Cell, in *netlist.Inst, prob map[string]float64) netlist.Lambdas {
+	if len(c.Inputs) == 0 {
+		pn := prob[in.Pins[c.Output]]
+		return netlist.Lambdas{P: 1 - pn, N: pn}
+	}
+	var sum float64
+	for _, p := range c.Inputs {
+		sum += prob[in.Pins[p]]
+	}
+	pn := sum / float64(len(c.Inputs))
+	return netlist.Lambdas{P: 1 - pn, N: pn}
 }

@@ -48,6 +48,9 @@ func AnnotatedScenarios(n *Netlist, base aging.Scenario) ([]aging.Scenario, erro
 			return nil, err
 		}
 		s := base.WithLambda(lp, ln)
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("netlist: instance %s: %w", in.Name, err)
+		}
 		seen[s.Key()] = s
 	}
 	out := make([]aging.Scenario, 0, len(seen))

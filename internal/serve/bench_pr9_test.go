@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestBenchPR9Emit produces BENCH_PR9.json: one /v1/batch request
+// versus the same 32 heterogeneous items as sequential singles, cold
+// and warm (see EXPERIMENTS.md, "BENCH_PR9"). Skipped unless
+// BENCH_PR9_OUT names the output file; BENCH_PR9_ITERS overrides the
+// warm-phase repetition count (1 is the verify smoke — wall-clock
+// ratios are too noisy to gate on a single warm lap, so only the full
+// run asserts the speed floor; bit-identity is asserted always).
+func TestBenchPR9Emit(t *testing.T) {
+	out := os.Getenv("BENCH_PR9_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PR9_OUT to emit the benchmark report")
+	}
+	lg := BatchLoadgenConfig{Out: out}
+	if s := os.Getenv("BENCH_PR9_ITERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad BENCH_PR9_ITERS=%q", s)
+		}
+		lg.Iters = n
+	}
+
+	rep, err := LoadgenBatch(context.Background(), quickConfig(""), lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cold: singles %.3fs, batch %.3fs (%.2fx)",
+		rep.ColdSinglesS, rep.ColdBatchS, rep.ColdBatchVsSingles)
+	t.Logf("warm: singles %.5fs, batch %.5fs (%.2fx), %d unique fills for %d items",
+		rep.WarmSinglesS, rep.WarmBatchS, rep.WarmBatchVsSingles,
+		rep.UniqueFills, rep.BatchItems)
+
+	if !rep.ItemsBitIdentical {
+		t.Error("batch answers are not bit-identical to the singles")
+	}
+	if rep.BatchItems != int64(rep.Items) {
+		t.Errorf("batch served %d items, want %d", rep.BatchItems, rep.Items)
+	}
+	if rep.UniqueFills >= int64(rep.Items) {
+		t.Errorf("planner deduped nothing: %d fills for %d items", rep.UniqueFills, rep.Items)
+	}
+	if rep.Iters > 1 && rep.WarmBatchVsSingles > 0.25 {
+		t.Errorf("warm batch took %.0f%% of sequential singles, acceptance floor is 25%%",
+			100*rep.WarmBatchVsSingles)
+	}
+}

@@ -93,11 +93,30 @@ func (c *cache) get(ctx context.Context, key string, fill func(context.Context) 
 	}
 }
 
+// peek returns the cached value for key without filling on miss. A hit
+// counts like any other; a miss counts nothing — peek callers fall back
+// to the fill path, which attributes the miss to the key it fills.
+func (c *cache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	v := el.Value.(*entry).val
+	c.mu.Unlock()
+	c.hits.Inc()
+	return v, true
+}
+
 // put inserts (or refreshes) an entry, evicting from the cold end past
 // capacity.
 func (c *cache) put(key string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The gauge must track every exit path, including the refresh return.
+	defer func() { c.size.Set(float64(c.lenLocked())) }()
 	if el, ok := c.m[key]; ok {
 		el.Value.(*entry).val = v
 		c.ll.MoveToFront(el)
@@ -110,12 +129,14 @@ func (c *cache) put(key string, v any) {
 		delete(c.m, el.Value.(*entry).key)
 		c.evictions.Inc()
 	}
-	c.size.Set(float64(c.ll.Len()))
 }
+
+// lenLocked reports the entry count; the caller must hold c.mu.
+func (c *cache) lenLocked() int { return c.ll.Len() }
 
 // len reports the current entry count.
 func (c *cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.lenLocked()
 }

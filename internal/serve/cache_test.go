@@ -118,6 +118,34 @@ func TestCacheLeaderDeadlineDoesNotPoisonFollowers(t *testing.T) {
 	}
 }
 
+func TestCachePutRefreshUpdatesSizeGauge(t *testing.T) {
+	// The refresh path (put on an existing key) used to return before the
+	// size gauge update, leaving a stale reading until the next brand-new
+	// insert. Poison the gauge and prove a refresh repairs it.
+	reg := obs.NewRegistry()
+	c := newCache(8, reg)
+	gauge := reg.Gauge("serve.cache.size")
+	c.put("k", "v1")
+	if g := gauge.Value(); g != 1 {
+		t.Fatalf("gauge after insert = %g, want 1", g)
+	}
+	gauge.Set(-1)
+	c.put("k", "v2")
+	if g := gauge.Value(); g != 1 {
+		t.Errorf("gauge after refresh = %g, want 1", g)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1 (refresh must not duplicate)", c.len())
+	}
+	v, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+		t.Error("refresh lost the entry")
+		return nil, nil
+	})
+	if err != nil || v != "v2" {
+		t.Errorf("refreshed value = %v err=%v, want v2", v, err)
+	}
+}
+
 func TestCacheFillErrorNotCached(t *testing.T) {
 	c := newCache(8, obs.NewRegistry())
 	ctx := context.Background()

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"slices"
+	"strconv"
 	"sync"
 
 	"ageguard/internal/aging"
@@ -15,32 +17,68 @@ import (
 )
 
 // resolveScenario maps the wire scenario onto an aging.Scenario. A zero
-// Years defaults to the flow lifetime.
+// Years defaults to the flow lifetime; "fresh" takes no Years at all —
+// a caller who sends one is asking for a contradiction (aging over a
+// lifetime of a scenario defined as unaged) and gets a 400 instead of a
+// silently ignored parameter.
 func (s *Server) resolveScenario(a api.Scenario) (aging.Scenario, error) {
 	years := a.Years
 	if years == 0 {
 		years = s.cfg.Flow.Lifetime
 	}
-	if years < 0 {
-		return aging.Scenario{}, badRequest("negative lifetime %g", years)
-	}
+	var sc aging.Scenario
 	switch a.Kind {
 	case "fresh":
-		return aging.Fresh(), nil
-	case "worst":
-		return aging.WorstCase(years), nil
-	case "balance":
-		return aging.BalanceCase(years), nil
-	case "duty":
-		if a.LambdaP < 0 || a.LambdaP > 1 || a.LambdaN < 0 || a.LambdaN > 1 {
-			return aging.Scenario{}, badRequest("duty cycles (%g, %g) outside [0, 1]",
-				a.LambdaP, a.LambdaN)
+		if a.Years != 0 {
+			return aging.Scenario{}, badRequest(
+				"years = %g contradicts scenario kind \"fresh\"; drop years or pick an aged kind",
+				a.Years)
 		}
-		return aging.WorstCase(years).WithLambda(a.LambdaP, a.LambdaN), nil
+		sc = aging.Fresh()
+	case "worst":
+		sc = aging.WorstCase(years)
+	case "balance":
+		sc = aging.BalanceCase(years)
+	case "duty":
+		sc = aging.WorstCase(years).WithLambda(a.LambdaP, a.LambdaN)
 	default:
 		return aging.Scenario{}, badRequest(
 			"unknown scenario kind %q (want fresh, worst, balance or duty)", a.Kind)
 	}
+	if err := sc.Validate(); err != nil {
+		return aging.Scenario{}, badRequest("%v", err)
+	}
+	return sc, nil
+}
+
+// scenarioKey identifies a scenario in LRU keys with full fidelity.
+// aging.Scenario.Key() encodes only the duty cycles — the paper's
+// convention for naming cells and libraries — so keying the cache on it
+// alone would alias scenarios that differ in lifetime, temperature or
+// supply (e.g. worst-case at 5 vs. 10 years) and serve one scenario's
+// libraries for the other. Every field is encoded as the hex of its
+// IEEE-754 bits: exact (distinct scenarios can never collide) and an
+// order of magnitude cheaper than shortest-decimal formatting, which
+// profiled as the hottest part of planning a warm batch. These keys
+// never leave the process, so readability costs nothing here.
+func scenarioKey(sc aging.Scenario) string {
+	b := make([]byte, 0, 84)
+	b = appendHexFloat(b, sc.Years)
+	b = append(b, '_')
+	b = appendHexFloat(b, sc.TempK)
+	b = append(b, '_')
+	b = appendHexFloat(b, sc.Vdd)
+	b = append(b, '_')
+	b = appendHexFloat(b, sc.LambdaP)
+	b = append(b, '_')
+	b = appendHexFloat(b, sc.LambdaN)
+	return string(b)
+}
+
+// appendHexFloat appends the exact bit pattern of f in hex — the cheap
+// full-fidelity float encoding the in-process cache keys use.
+func appendHexFloat(b []byte, f float64) []byte {
+	return strconv.AppendUint(b, math.Float64bits(f), 16)
 }
 
 // checkCircuit validates a benchmark name without building it.
@@ -51,11 +89,37 @@ func checkCircuit(name string) error {
 	return nil
 }
 
+// checkTimingPoint validates a cell-timing query point. Shared by the
+// single-request handler and the batch planner so both reject with the
+// same message.
+func checkTimingPoint(inSlew, load float64) error {
+	if inSlew <= 0 || load <= 0 {
+		return badRequest("in_slew_s and load_f must be positive (got %g, %g)", inSlew, load)
+	}
+	return nil
+}
+
+// checkPathsK validates and resolves the path-count parameter: only an
+// absent (zero) k defaults to 5; a negative k is a caller mistake, not
+// a default request.
+func checkPathsK(k int) (int, error) {
+	if k < 0 {
+		return 0, badRequest("negative k = %d", k)
+	}
+	if k == 0 {
+		k = 5
+	}
+	if k > 100 {
+		return 0, badRequest("k = %d too large (max 100)", k)
+	}
+	return k, nil
+}
+
 // library returns the characterized library for a scenario through the
 // LRU; misses run the characterization (or the disk-cache load) once
 // per key.
 func (s *Server) library(ctx context.Context, sc aging.Scenario) (*liberty.Library, error) {
-	key := "lib|" + s.cfgHash + "|" + sc.Key()
+	key := "lib|" + s.cfgHash + "|" + scenarioKey(sc)
 	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
 		return s.cfg.Flow.Library(ctx, sc)
 	})
@@ -96,7 +160,7 @@ func (e *analyzerEntry) cp() float64 {
 // through the LRU: topology compilation and the forward pass happen
 // once; warm queries only read the precomputed critical path.
 func (s *Server) analyzer(ctx context.Context, circuit string, sc aging.Scenario) (*analyzerEntry, error) {
-	key := "az|" + s.cfgHash + "|" + circuit + "|" + sc.Key()
+	key := "az|" + s.cfgHash + "|" + circuit + "|" + scenarioKey(sc)
 	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
 		nl, err := s.netlist(ctx, circuit)
 		if err != nil {
@@ -160,9 +224,8 @@ func (s *Server) cellTiming(ctx context.Context, req *api.CellTimingRequest) (an
 	if err := checkVersion(req.Version); err != nil {
 		return nil, err
 	}
-	if req.InSlewS <= 0 || req.LoadF <= 0 {
-		return nil, badRequest("in_slew_s and load_f must be positive (got %g, %g)",
-			req.InSlewS, req.LoadF)
+	if err := checkTimingPoint(req.InSlewS, req.LoadF); err != nil {
+		return nil, err
 	}
 	sc, err := s.resolveScenario(req.Scenario)
 	if err != nil {
@@ -183,15 +246,22 @@ func (s *Server) cellTiming(ctx context.Context, req *api.CellTimingRequest) (an
 	}
 	for _, arc := range ct.Arcs {
 		for _, edge := range []liberty.Edge{liberty.Rise, liberty.Fall} {
-			if arc.Delay[edge] == nil {
+			d := arc.Delay[edge]
+			if d == nil {
 				continue
 			}
-			resp.Arcs = append(resp.Arcs, api.ArcTiming{
-				Pin:      arc.Pin,
-				Edge:     edge.String(),
-				DelayS:   arc.Delay[edge].At(req.InSlewS, req.LoadF),
-				OutSlewS: arc.OutSlew[edge].At(req.InSlewS, req.LoadF),
-			})
+			at := api.ArcTiming{
+				Pin:    arc.Pin,
+				Edge:   edge.String(),
+				DelayS: d.At(req.InSlewS, req.LoadF),
+			}
+			// OutSlew is optional in the .alib format — a delay-only arc
+			// is legal and must not be dereferenced.
+			if t := arc.OutSlew[edge]; t != nil {
+				os := t.At(req.InSlewS, req.LoadF)
+				at.OutSlewS = &os
+			}
+			resp.Arcs = append(resp.Arcs, at)
 		}
 	}
 	return resp, nil
@@ -248,18 +318,15 @@ func (s *Server) paths(ctx context.Context, req *api.PathsRequest) (any, error) 
 	if err := checkCircuit(req.Circuit); err != nil {
 		return nil, err
 	}
-	k := req.K
-	if k <= 0 {
-		k = 5
-	}
-	if k > 100 {
-		return nil, badRequest("k = %d too large (max 100)", k)
+	k, err := checkPathsK(req.K)
+	if err != nil {
+		return nil, err
 	}
 	sc, err := s.resolveScenario(req.Scenario)
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("paths|%s|%s|%s|%d", s.cfgHash, req.Circuit, sc.Key(), k)
+	key := fmt.Sprintf("paths|%s|%s|%s|%d", s.cfgHash, req.Circuit, scenarioKey(sc), k)
 	v, err := s.cache.get(ctx, key, func(ctx context.Context) (any, error) {
 		nl, err := s.netlist(ctx, req.Circuit)
 		if err != nil {

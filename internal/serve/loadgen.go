@@ -2,12 +2,9 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math"
 	"net"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -191,27 +188,7 @@ func Loadgen(ctx context.Context, cfg Config, lg LoadgenConfig) (*BenchReport, e
 	}
 
 	if lg.Out != "" {
-		b, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		// Atomic temp+rename, like every cache write: a crash mid-write
-		// must never leave a truncated report behind under the real name.
-		f, err := os.CreateTemp(filepath.Dir(lg.Out), filepath.Base(lg.Out)+".tmp*")
-		if err != nil {
-			return nil, err
-		}
-		if _, err := f.Write(append(b, '\n')); err != nil {
-			f.Close()
-			os.Remove(f.Name())
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
-			os.Remove(f.Name())
-			return nil, err
-		}
-		if err := os.Rename(f.Name(), lg.Out); err != nil {
-			os.Remove(f.Name())
+		if err := writeReport(lg.Out, rep); err != nil {
 			return nil, err
 		}
 	}

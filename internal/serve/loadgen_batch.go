@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"ageguard/internal/obs"
+	"ageguard/pkg/ageguard/api"
+	"ageguard/pkg/ageguard/client"
+)
+
+// BatchLoadgenConfig parameterizes the batch self-benchmark mode
+// (ageguardd -loadgen-batch): one batched request versus the same items
+// issued as sequential singles, cold and warm, over real HTTP.
+type BatchLoadgenConfig struct {
+	Items   int    // heterogeneous item count (default 32)
+	Iters   int    // warm-phase repetitions, best-of (default 5)
+	Circuit string // benchmark circuit queried (default "RISC-5P")
+	Out     string // report path ("" = don't write)
+}
+
+func (lg *BatchLoadgenConfig) fill() {
+	if lg.Items <= 0 {
+		lg.Items = 32
+	}
+	if lg.Iters <= 0 {
+		lg.Iters = 5
+	}
+	if lg.Circuit == "" {
+		lg.Circuit = "RISC-5P"
+	}
+}
+
+// BatchBenchReport is the BENCH_PR9.json shape: wall-clock of one
+// /v1/batch request against the identical workload issued as sequential
+// single requests, measured cold (each side against its own empty cache
+// directory, so neither benefits from the other's fills) and warm. The
+// PR9 acceptance floor is WarmBatchVsSingles <= 0.25 with
+// ItemsBitIdentical true.
+type BatchBenchReport struct {
+	Bench     string `json:"bench"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+
+	Circuit string `json:"circuit"`
+	Items   int    `json:"items"`
+	Iters   int    `json:"iters"`
+
+	// Cold: first contact, empty in-memory and disk caches on both
+	// sides. The batch planner's dedupe is what separates the two — it
+	// characterizes each unique (library, netlist, analyzer) subproblem
+	// once where the sequential singles pay one round trip per item but
+	// share the same server-side cache.
+	ColdSinglesS       float64 `json:"cold_singles_s"`
+	ColdBatchS         float64 `json:"cold_batch_s"`
+	ColdBatchVsSingles float64 `json:"cold_batch_vs_singles"`
+
+	// Warm: every subproblem cached; the comparison is N HTTP round
+	// trips against one. Best-of-Iters on both sides.
+	WarmSinglesS       float64 `json:"warm_singles_s"`
+	WarmBatchS         float64 `json:"warm_batch_s"`
+	WarmBatchVsSingles float64 `json:"warm_batch_vs_singles"`
+
+	// UniqueFills is the planner's deduped subproblem count for the
+	// cold batch; BatchItems is the per-item counter (= Items).
+	UniqueFills int64 `json:"unique_fills"`
+	BatchItems  int64 `json:"batch_items"`
+
+	// ItemsBitIdentical reports whether every batch item's payload was
+	// bit-identical to the answer the singles path produced for it.
+	ItemsBitIdentical bool `json:"items_bit_identical"`
+}
+
+// benchBatchItems builds n deterministic heterogeneous items:
+// guardband and celltiming queries interleaved across three aged
+// scenarios and two cells, with the scenario rotating independently of
+// the kind so the same scenario recurs across kinds and the planner has
+// real duplication to collapse. Only the small-payload kinds appear —
+// that is the realistic batched workload (sweep queries), and it keeps
+// the measurement about per-request overhead. Multi-kilobyte paths
+// listings serialize at the same cost per byte on both sides, so
+// including them would only dilute the amortization being measured;
+// paths items stay covered by the DTO, planner and chaos tests.
+func benchBatchItems(circuit string, n int) []api.BatchItem {
+	scens := []api.Scenario{
+		{Kind: "worst", Years: 10},
+		{Kind: "balance", Years: 10},
+		{Kind: "duty", Years: 10, LambdaP: 0.25, LambdaN: 0.75},
+	}
+	cells := []string{"INV_X1", "NAND2_X1"}
+	items := make([]api.BatchItem, 0, n)
+	for i := 0; len(items) < n; i++ {
+		sc := scens[(i/2)%len(scens)]
+		switch {
+		case i%2 == 0:
+			items = append(items, api.GuardbandItem(api.GuardbandRequest{
+				Circuit: circuit, Scenario: sc,
+			}))
+		default:
+			items = append(items, api.CellTimingItem(api.CellTimingRequest{
+				Cell: cells[(i/2)%len(cells)], Scenario: sc,
+				InSlewS: 20e-12, LoadF: 2e-15,
+			}))
+		}
+	}
+	return items
+}
+
+// runSingles issues every item as its own single request, sequentially
+// and in order — the workload a client without Batch would run.
+func runSingles(ctx context.Context, cl *client.Client, items []api.BatchItem) ([]api.BatchItemResult, error) {
+	out := make([]api.BatchItemResult, len(items))
+	for i, it := range items {
+		switch it.Kind {
+		case api.BatchGuardband:
+			r, err := cl.Guardband(ctx, *it.Guardband)
+			if err != nil {
+				return nil, fmt.Errorf("item %d (guardband): %w", i, err)
+			}
+			out[i] = api.BatchItemResult{Guardband: r}
+		case api.BatchCellTiming:
+			r, err := cl.CellTiming(ctx, *it.CellTiming)
+			if err != nil {
+				return nil, fmt.Errorf("item %d (celltiming): %w", i, err)
+			}
+			out[i] = api.BatchItemResult{CellTiming: r}
+		default:
+			r, err := cl.Paths(ctx, *it.Paths)
+			if err != nil {
+				return nil, fmt.Errorf("item %d (paths): %w", i, err)
+			}
+			out[i] = api.BatchItemResult{Paths: r}
+		}
+	}
+	return out, nil
+}
+
+// benchServer boots a Server for cfg with its disk cache redirected to
+// a fresh temp directory, and returns a client plus a shutdown func
+// that drains the server and removes the directory.
+func benchServer(ctx context.Context, cfg Config, reg *obs.Registry) (*client.Client, func(), error) {
+	dir, err := os.MkdirTemp("", "ageguard-bench-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Flow.Char.CacheDir = dir
+	s := New(cfg, reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	serveCtx, stop := context.WithCancel(context.WithoutCancel(ctx))
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(serveCtx, ln) }()
+	cleanup := func() {
+		stop()
+		<-done
+		os.RemoveAll(dir)
+	}
+	cl := client.New("http://" + ln.Addr().String())
+	if err := cl.Healthz(ctx); err != nil {
+		cleanup()
+		return nil, nil, fmt.Errorf("healthz: %w", err)
+	}
+	return cl, cleanup, nil
+}
+
+// LoadgenBatch measures batched against sequential-single query cost:
+// two daemons boot on loopback listeners, each over its own empty cache
+// directory (cfg's configured cache directory is deliberately ignored —
+// a shared or pre-warmed directory would let one side ride the other's
+// fills and void the cold comparison). One daemon answers the items as
+// sequential singles, the other as /v1/batch requests; both are then
+// re-measured warm, and the per-item payloads are compared bit for bit.
+func LoadgenBatch(ctx context.Context, cfg Config, lg BatchLoadgenConfig) (*BatchBenchReport, error) {
+	lg.fill()
+	items := benchBatchItems(lg.Circuit, lg.Items)
+
+	singleCl, stopSingles, err := benchServer(ctx, cfg, obs.NewRegistry())
+	if err != nil {
+		return nil, err
+	}
+	defer stopSingles()
+	batchReg := obs.NewRegistry()
+	batchCl, stopBatch, err := benchServer(ctx, cfg, batchReg)
+	if err != nil {
+		return nil, err
+	}
+	defer stopBatch()
+
+	t0 := time.Now()
+	singles, err := runSingles(ctx, singleCl, items)
+	if err != nil {
+		return nil, fmt.Errorf("cold singles: %w", err)
+	}
+	coldSingles := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	batched, err := batchCl.Batch(ctx, items)
+	if err != nil {
+		return nil, fmt.Errorf("cold batch: %w", err)
+	}
+	coldBatch := time.Since(t0).Seconds()
+	// Snapshot before the warm laps: the planner re-plans (and re-counts)
+	// every lap, and the report's fill count is about the cold batch.
+	coldSnap := batchReg.Snapshot()
+
+	warmSingles, warmBatch := coldSingles, coldBatch
+	for i := 0; i < lg.Iters; i++ {
+		t0 = time.Now()
+		if _, err := runSingles(ctx, singleCl, items); err != nil {
+			return nil, fmt.Errorf("warm singles: %w", err)
+		}
+		if d := time.Since(t0).Seconds(); d < warmSingles {
+			warmSingles = d
+		}
+		t0 = time.Now()
+		if batched, err = batchCl.Batch(ctx, items); err != nil {
+			return nil, fmt.Errorf("warm batch: %w", err)
+		}
+		if d := time.Since(t0).Seconds(); d < warmBatch {
+			warmBatch = d
+		}
+	}
+
+	identical := len(batched.Items) == len(singles)
+	for i := range singles {
+		if !identical {
+			break
+		}
+		if batched.Items[i].Error != nil || !reflect.DeepEqual(batched.Items[i], singles[i]) {
+			identical = false
+		}
+	}
+
+	rep := &BatchBenchReport{
+		Bench:             "PR9",
+		GoVersion:         runtime.Version(),
+		CPUs:              runtime.NumCPU(),
+		Circuit:           lg.Circuit,
+		Items:             lg.Items,
+		Iters:             lg.Iters,
+		ColdSinglesS:      coldSingles,
+		ColdBatchS:        coldBatch,
+		WarmSinglesS:      warmSingles,
+		WarmBatchS:        warmBatch,
+		UniqueFills:       coldSnap.Counters["serve.batch.unique_fills"],
+		BatchItems:        coldSnap.Counters["serve.batch.items"],
+		ItemsBitIdentical: identical,
+	}
+	if coldSingles > 0 {
+		rep.ColdBatchVsSingles = coldBatch / coldSingles
+	}
+	if warmSingles > 0 {
+		rep.WarmBatchVsSingles = warmBatch / warmSingles
+	}
+
+	if lg.Out != "" {
+		if err := writeReport(lg.Out, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// writeReport writes a benchmark report as indented JSON via an atomic
+// temp+rename, like every cache write: a crash mid-write must never
+// leave a truncated report behind under the real name.
+func writeReport(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

@@ -135,7 +135,7 @@ func TestCellTimingAndPathsEndpoints(t *testing.T) {
 		t.Fatal("no arcs reported for INV_X1")
 	}
 	for _, a := range ctr.Arcs {
-		if a.DelayS <= 0 || a.OutSlewS <= 0 {
+		if a.DelayS <= 0 || a.OutSlewS == nil || *a.OutSlewS <= 0 {
 			t.Errorf("non-positive timing in arc %+v", a)
 		}
 		if a.Edge != "rise" && a.Edge != "fall" {

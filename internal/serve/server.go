@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -53,6 +54,12 @@ type Config struct {
 	MaxInflight int
 	QueueDepth  int
 	RetryAfter  time.Duration
+
+	// BatchParallelism bounds how many unique subproblems of one /v1/batch
+	// request fill concurrently (default 0: GOMAXPROCS). A batch holds a
+	// single admission ticket; this knob is what fans its internal work
+	// out.
+	BatchParallelism int
 
 	// RequestTimeout is the per-request deadline (default 5m). It
 	// propagates into characterization and STA, whose inner loops check
@@ -137,7 +144,7 @@ func New(cfg Config, reg *obs.Registry) *Server {
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the daemon's routing table: the four /v1 query
+// Handler returns the daemon's routing table: the five /v1 query
 // endpoints plus /healthz, /metrics (text), /metrics.json and
 // /debug/pprof.
 func (s *Server) Handler() http.Handler {
@@ -146,6 +153,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/celltiming", handleJSON(s, "celltiming", s.cellTiming))
 	mux.Handle("POST /v1/grid", handleJSON(s, "grid", s.grid))
 	mux.Handle("POST /v1/paths", handleJSON(s, "paths", s.paths))
+	mux.Handle("POST /v1/batch", handleBatch(s))
 
 	// Liveness: the process is up and serving HTTP. Stays 200 through
 	// warm-up and drain — restarts are for dead processes, not busy ones.
@@ -284,6 +292,46 @@ func checkVersion(v string) error {
 	return nil
 }
 
+// admit runs the shared admission prologue: an admission ticket (or an
+// immediate 429 — no ticket free means the daemon is saturated past its
+// queue, so shed so callers back off instead of piling on), the
+// per-request deadline, and a work slot (or 504 when the deadline
+// expires first — the deadline keeps queue time bounded). On success
+// the caller must defer release; on failure the response has been
+// written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, errc, rejected, timeouts *obs.Counter) (ctx context.Context, release func(), ok bool) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		rejected.Inc()
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests,
+			errors.New("server saturated: admission queue full"))
+		return nil, nil, false
+	}
+
+	ctx = obs.With(r.Context(), s.reg)
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		timeouts.Inc()
+		errc.Inc()
+		writeError(w, http.StatusGatewayTimeout,
+			errors.New("deadline expired waiting for a work slot"))
+		cancel()
+		<-s.queue
+		return nil, nil, false
+	}
+	return ctx, func() {
+		<-s.slots
+		cancel()
+		<-s.queue
+	}, true
+}
+
 // handleJSON wraps one endpoint with the shared request plumbing:
 // admission (queue ticket or 429), the per-request deadline, body
 // decode, the endpoint duration histogram and the error taxonomy.
@@ -295,36 +343,11 @@ func handleJSON[Req any](s *Server, name string, fn func(ctx context.Context, re
 	timeouts := s.reg.Counter("serve.timeouts")
 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Admission: a queue ticket covers both waiting and working. No
-		// ticket free means the daemon is saturated past its queue — shed
-		// immediately so callers can back off instead of piling on.
-		select {
-		case s.queue <- struct{}{}:
-			defer func() { <-s.queue }()
-		default:
-			rejected.Inc()
-			secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeError(w, http.StatusTooManyRequests,
-				errors.New("server saturated: admission queue full"))
+		ctx, release, ok := s.admit(w, r, errc, rejected, timeouts)
+		if !ok {
 			return
 		}
-
-		ctx := obs.With(r.Context(), s.reg)
-		ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		defer cancel()
-
-		// Wait for a work slot; the deadline keeps queue time bounded.
-		select {
-		case s.slots <- struct{}{}:
-			defer func() { <-s.slots }()
-		case <-ctx.Done():
-			timeouts.Inc()
-			errc.Inc()
-			writeError(w, http.StatusGatewayTimeout,
-				errors.New("deadline expired waiting for a work slot"))
-			return
-		}
+		defer release()
 
 		var req Req
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
@@ -347,5 +370,95 @@ func handleJSON[Req any](s *Server, name string, fn func(ctx context.Context, re
 		}
 		okc.Inc()
 		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// cachedBody is one memoized whole-batch reply: the exact request bytes
+// it answers (compared on hit, since the LRU key is only a hash of
+// them) and the rendered body plus checksum to replay.
+type cachedBody struct {
+	req  []byte
+	body []byte
+	sum  string
+}
+
+// maxMemoBody bounds the size of a whole-batch reply kept in the memo;
+// a paths-heavy batch can render megabytes, and the LRU is
+// entry-counted, not byte-counted.
+const maxMemoBody = 1 << 20
+
+// handleBatch is handleJSON for /v1/batch, plus the outermost level of
+// the batch memo hierarchy: a byte-identical repeat of a fully
+// successful batch request replays the stored reply without decoding,
+// planning or rendering anything. Item-fragment memoization (batch.go)
+// covers batches that merely overlap; this covers the periodic
+// monitor-sweep pattern where the same batch recurs verbatim. Replies
+// carrying any per-item error are never memoized, so transient
+// failures cannot stick.
+func handleBatch(s *Server) http.Handler {
+	hist := s.reg.Histogram("serve.batch.seconds")
+	okc := s.reg.Counter("serve.batch.ok")
+	errc := s.reg.Counter("serve.batch.err")
+	rejected := s.reg.Counter("serve.rejected")
+	timeouts := s.reg.Counter("serve.timeouts")
+	bodyHits := s.reg.Counter("serve.batch.body_hits")
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, release, ok := s.admit(w, r, errc, rejected, timeouts)
+		if !ok {
+			return
+		}
+		defer release()
+
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			errc.Inc()
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+			return
+		}
+		key := "body|" + s.cfgHash + "|" + api.BodySum(raw)
+		if v, ok := s.cache.peek(key); ok {
+			if cb := v.(*cachedBody); bytes.Equal(cb.req, raw) {
+				bodyHits.Inc()
+				okc.Inc()
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set(api.BodySumHeader, cb.sum)
+				w.Header().Set("Content-Length", strconv.Itoa(len(cb.body)))
+				w.Write(cb.body)
+				return
+			}
+		}
+
+		var req api.BatchRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			errc.Inc()
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+
+		t0 := time.Now()
+		resp, err := s.batch(ctx, &req)
+		hist.Since(t0)
+		if err != nil {
+			code := status(err)
+			if code == http.StatusGatewayTimeout {
+				timeouts.Inc()
+			}
+			errc.Inc()
+			writeError(w, code, err)
+			return
+		}
+		okc.Inc()
+
+		wire := resp.(batchWireResponse)
+		b := wire.body()
+		sum := api.BodySum(b)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(api.BodySumHeader, sum)
+		w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+		w.Write(b)
+		if wire.clean && len(b) <= maxMemoBody {
+			s.cache.put(key, &cachedBody{req: raw, body: b, sum: sum})
+		}
 	})
 }

@@ -157,6 +157,28 @@ func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) erro
 			}
 			return nil
 		}},
+		{"batch", func() error {
+			resp, err := cl.Batch(ctx, []api.BatchItem{
+				api.GuardbandItem(api.GuardbandRequest{Circuit: sm.Circuit, Scenario: scen}),
+				api.CellTimingItem(api.CellTimingRequest{
+					Cell: "INV_X1", Scenario: scen, InSlewS: 20e-12, LoadF: 2e-15,
+				}),
+				api.PathsItem(api.PathsRequest{Circuit: sm.Circuit, Scenario: scen, K: 2}),
+			})
+			if err != nil {
+				return err
+			}
+			for i, it := range resp.Items {
+				if it.Error != nil {
+					return fmt.Errorf("item %d: %d %s", i, it.Error.Status, it.Error.Message)
+				}
+			}
+			gb := resp.Items[0].Guardband
+			if gb == nil || gb.AgedCPs <= gb.FreshCPs {
+				return fmt.Errorf("implausible batched guardband: %+v", gb)
+			}
+			return nil
+		}},
 		{"metrics", get("/metrics")},
 		{"metrics.json", get("/metrics.json")},
 		{"pprof", get("/debug/pprof/")},

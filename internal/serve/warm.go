@@ -82,7 +82,7 @@ func (s *Server) warm(ctx context.Context) {
 			quarantine(p, quarantined)
 			continue
 		}
-		s.cache.put("lib|"+s.cfgHash+"|"+lib.Scenario.Key(), lib)
+		s.cache.put("lib|"+s.cfgHash+"|"+scenarioKey(lib.Scenario), lib)
 		loaded.Inc()
 	}
 	s.reg.Histogram("serve.warm.seconds").Since(t0)

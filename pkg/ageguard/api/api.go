@@ -87,12 +87,13 @@ type CellTimingRequest struct {
 
 // ArcTiming is the interpolated delay and output slew of one timing arc
 // at the queried (slew, load) point. Edge names the output transition,
-// "rise" or "fall".
+// "rise" or "fall". OutSlewS is nil (and absent from the wire) for
+// delay-only arcs — the library format treats output slew as optional.
 type ArcTiming struct {
-	Pin      string  `json:"pin"`
-	Edge     string  `json:"edge"`
-	DelayS   float64 `json:"delay_s"`
-	OutSlewS float64 `json:"out_slew_s"`
+	Pin      string   `json:"pin"`
+	Edge     string   `json:"edge"`
+	DelayS   float64  `json:"delay_s"`
+	OutSlewS *float64 `json:"out_slew_s,omitempty"`
 }
 
 // CellTimingResponse reports every arc of the cell at the queried
@@ -169,4 +170,97 @@ type PathsResponse struct {
 type ErrorResponse struct {
 	Version string `json:"version"`
 	Error   string `json:"error"`
+}
+
+// Batch item kinds. Grid is deliberately excluded: one grid query is
+// itself a 121-library batch and dwarfs everything else a batch could
+// carry; issue it as a single request.
+const (
+	BatchGuardband  = "guardband"
+	BatchCellTiming = "celltiming"
+	BatchPaths      = "paths"
+)
+
+// BatchItem is one query inside a batch: Kind selects which of the
+// payload pointers is populated. Exactly the payload named by Kind must
+// be non-nil; servers reject malformed items per-item, not per-batch.
+type BatchItem struct {
+	Kind       string             `json:"kind"`
+	Guardband  *GuardbandRequest  `json:"guardband,omitempty"`
+	CellTiming *CellTimingRequest `json:"celltiming,omitempty"`
+	Paths      *PathsRequest      `json:"paths,omitempty"`
+}
+
+// GuardbandItem wraps a guardband request as a batch item.
+func GuardbandItem(r GuardbandRequest) BatchItem {
+	return BatchItem{Kind: BatchGuardband, Guardband: &r}
+}
+
+// CellTimingItem wraps a cell-timing request as a batch item.
+func CellTimingItem(r CellTimingRequest) BatchItem {
+	return BatchItem{Kind: BatchCellTiming, CellTiming: &r}
+}
+
+// PathsItem wraps a paths request as a batch item.
+func PathsItem(r PathsRequest) BatchItem {
+	return BatchItem{Kind: BatchPaths, Paths: &r}
+}
+
+// Validate checks the item's shape: a known Kind carrying exactly its
+// own payload.
+func (it BatchItem) Validate() error {
+	switch it.Kind {
+	case BatchGuardband, BatchCellTiming, BatchPaths:
+	default:
+		return fmt.Errorf("unknown batch item kind %q (want %s, %s or %s)",
+			it.Kind, BatchGuardband, BatchCellTiming, BatchPaths)
+	}
+	var set []string
+	if it.Guardband != nil {
+		set = append(set, BatchGuardband)
+	}
+	if it.CellTiming != nil {
+		set = append(set, BatchCellTiming)
+	}
+	if it.Paths != nil {
+		set = append(set, BatchPaths)
+	}
+	if len(set) != 1 || set[0] != it.Kind {
+		return fmt.Errorf("batch item of kind %q must carry exactly the %q payload (has %v)",
+			it.Kind, it.Kind, set)
+	}
+	return nil
+}
+
+// BatchRequest asks for a heterogeneous list of queries answered in one
+// round trip. The server decomposes the list into its unique
+// subproblems (libraries, netlists, analyzers), fills each once, and
+// answers every item — items that fail carry their own error while the
+// rest of the batch still succeeds.
+type BatchRequest struct {
+	Version string      `json:"version"`
+	Items   []BatchItem `json:"items"`
+}
+
+// BatchError is one item's failure: the same HTTP status taxonomy a
+// single request would have received (400 bad parameters, 404 unknown
+// name, 504 deadline, ...) plus the error message.
+type BatchError struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// BatchItemResult answers one batch item: either Error is set, or the
+// response pointer matching the item's Kind is.
+type BatchItemResult struct {
+	Error      *BatchError         `json:"error,omitempty"`
+	Guardband  *GuardbandResponse  `json:"guardband,omitempty"`
+	CellTiming *CellTimingResponse `json:"celltiming,omitempty"`
+	Paths      *PathsResponse      `json:"paths,omitempty"`
+}
+
+// BatchResponse carries one result per request item, in request order.
+type BatchResponse struct {
+	Version string            `json:"version"`
+	Items   []BatchItemResult `json:"items"`
 }

@@ -22,6 +22,8 @@ func roundTrip(t *testing.T, v any) (any, []byte) {
 	return reflect.ValueOf(out).Elem().Interface(), b
 }
 
+func ptr[T any](v T) *T { return &v }
+
 func TestRoundTrip(t *testing.T) {
 	duty := Scenario{Kind: "duty", Years: 10, LambdaP: 0.3, LambdaN: 0.7}
 	values := []any{
@@ -31,7 +33,7 @@ func TestRoundTrip(t *testing.T) {
 		CellTimingRequest{Version: APIVersion, Cell: "NAND2_X1", Scenario: duty,
 			InSlewS: 20e-12, LoadF: 2e-15},
 		CellTimingResponse{Version: APIVersion, Cell: "NAND2_X1", Library: "worst_10y",
-			Arcs: []ArcTiming{{Pin: "A", Edge: "rise", DelayS: 31e-12, OutSlewS: 14e-12}}},
+			Arcs: []ArcTiming{{Pin: "A", Edge: "rise", DelayS: 31e-12, OutSlewS: ptr(14e-12)}}},
 		GridRequest{Version: APIVersion, Circuit: "FFT", Years: 10},
 		GridResponse{Version: APIVersion, Circuit: "FFT", Years: 10, FreshCPs: 2e-9,
 			Lambdas: []float64{0, 0.5, 1}, AgedCPs: [][]float64{{2.1e-9, 2.2e-9, 2.3e-9}},
@@ -65,5 +67,59 @@ func TestScenarioOmitsUnusedKnobs(t *testing.T) {
 	}
 	if got, want := string(b), `{"kind":"fresh"}`; got != want {
 		t.Errorf("fresh scenario wire form = %s, want %s", got, want)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	duty := Scenario{Kind: "duty", Years: 10, LambdaP: 0.3, LambdaN: 0.7}
+	req := BatchRequest{Version: APIVersion, Items: []BatchItem{
+		GuardbandItem(GuardbandRequest{Version: APIVersion, Circuit: "DSP", Scenario: duty}),
+		CellTimingItem(CellTimingRequest{Version: APIVersion, Cell: "INV_X1",
+			Scenario: duty, InSlewS: 20e-12, LoadF: 2e-15}),
+		PathsItem(PathsRequest{Version: APIVersion, Circuit: "FFT", Scenario: duty, K: 3}),
+	}}
+	resp := BatchResponse{Version: APIVersion, Items: []BatchItemResult{
+		{Guardband: &GuardbandResponse{Version: APIVersion, Circuit: "DSP",
+			Scenario: duty, FreshCPs: 1e-9, AgedCPs: 1.2e-9, GuardbandS: 0.2e-9}},
+		{Error: &BatchError{Status: 404, Message: "unknown cell"}},
+		{Paths: &PathsResponse{Version: APIVersion, Circuit: "FFT"}},
+	}}
+	for _, v := range []any{req, resp} {
+		got, wire := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("%T: round-trip mismatch\n got %#v\nwant %#v", v, got, v)
+		}
+		if !strings.Contains(string(wire), `"version":"v1"`) {
+			t.Errorf("%T: wire form lacks version tag", v)
+		}
+	}
+	// Unset payloads and errors must stay off the wire entirely.
+	b, err := json.Marshal(BatchItemResult{Error: &BatchError{Status: 400, Message: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leak := range []string{"guardband", "celltiming", "paths"} {
+		if strings.Contains(string(b), leak) {
+			t.Errorf("error-only result leaks %q: %s", leak, b)
+		}
+	}
+}
+
+func TestBatchItemValidate(t *testing.T) {
+	good := GuardbandItem(GuardbandRequest{Circuit: "DSP"})
+	if err := good.Validate(); err != nil {
+		t.Errorf("constructor item invalid: %v", err)
+	}
+	bad := []BatchItem{
+		{},
+		{Kind: "bogus"},
+		{Kind: BatchGuardband}, // no payload
+		{Kind: BatchGuardband, Paths: &PathsRequest{}},                               // wrong payload
+		{Kind: BatchPaths, Paths: &PathsRequest{}, CellTiming: &CellTimingRequest{}}, // two payloads
+	}
+	for i, it := range bad {
+		if err := it.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted malformed item", i)
+		}
 	}
 }

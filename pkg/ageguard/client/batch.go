@@ -1,0 +1,79 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"ageguard/pkg/ageguard/api"
+)
+
+// Batch issues a heterogeneous list of queries in one round trip
+// against POST /v1/batch. The exchange itself travels through the same
+// retry/hedge/checksum machinery as single queries; on top of that,
+// items that come back with a retryable per-item error (429 or 5xx in
+// the item's status field) are re-dispatched in follow-up sub-batches
+// containing only the failed items, under the client's RetryPolicy.
+// Every /v1 query is an idempotent read, so partial re-dispatch never
+// changes what a previously succeeded item would have answered.
+//
+// The returned response always has one result per input item, in input
+// order. A nil error does not mean every item succeeded — partial
+// failure lives in the per-item Error fields.
+func (c *Client) Batch(ctx context.Context, items []api.BatchItem) (*api.BatchResponse, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("client: empty batch")
+	}
+	c.metrics.Inc("client.batch.requests")
+	for range items {
+		c.metrics.Inc("client.batch.items")
+	}
+
+	out := &api.BatchResponse{
+		Version: api.APIVersion,
+		Items:   make([]api.BatchItemResult, len(items)),
+	}
+	pending := make([]int, len(items))
+	for i := range pending {
+		pending[i] = i
+	}
+	rounds := 1
+	if c.retry != nil {
+		rounds = c.retry.attempts()
+	}
+	for r := 0; ; r++ {
+		sub := make([]api.BatchItem, len(pending))
+		for j, i := range pending {
+			sub[j] = items[i]
+		}
+		var resp api.BatchResponse
+		err := c.do(ctx, "/v1/batch",
+			api.BatchRequest{Version: api.APIVersion, Items: sub}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Items) != len(sub) {
+			return nil, &IntegrityError{Path: "/v1/batch",
+				Reason: fmt.Sprintf("%d results for %d items", len(resp.Items), len(sub))}
+		}
+		var failed []int
+		for j, i := range pending {
+			out.Items[i] = resp.Items[j]
+			if e := resp.Items[j].Error; e != nil && retryableStatus(e.Status) {
+				failed = append(failed, i)
+			}
+		}
+		pending = failed
+		if len(pending) == 0 || r+1 >= rounds || ctx.Err() != nil {
+			return out, nil
+		}
+		c.metrics.Inc("client.batch.redispatches")
+		for range pending {
+			c.metrics.Inc("client.batch.item_retries")
+		}
+		if werr := c.backoffWait(ctx, r, nil); werr != nil {
+			// The context died mid-backoff; the caller keeps whatever
+			// answers already landed, with the failures still marked.
+			return out, nil
+		}
+	}
+}

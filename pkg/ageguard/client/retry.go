@@ -116,12 +116,20 @@ func Retryable(err error) bool {
 	}
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.StatusCode == 429 || apiErr.StatusCode >= 500
+		return retryableStatus(apiErr.StatusCode)
 	}
 	// Everything below the API layer — dial errors, resets mid-body,
 	// malformed HTTP, integrity failures — is transient by assumption:
 	// the server never speaks non-HTTP on purpose.
 	return true
+}
+
+// retryableStatus reports whether an HTTP status may clear on retry:
+// backpressure (429) and server-side failures (5xx). Shared with the
+// per-item classification of batch results, which carry the same
+// status taxonomy as whole replies.
+func retryableStatus(code int) bool {
+	return code == 429 || code >= 500
 }
 
 // shouldRetry decides whether the retry loop goes around again: the

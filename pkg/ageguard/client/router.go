@@ -1,0 +1,181 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+
+	"ageguard/pkg/ageguard/api"
+)
+
+// Router spreads queries across several ageguardd backends by
+// consistent-hashing each query's cache identity — the (circuit,
+// scenario) pair that keys the daemon's LRU — onto a hash ring. Every
+// query for one identity lands on the same backend, so each
+// horizontally scaled daemon stays hot on its shard instead of every
+// daemon cold-filling every shard. Adding or removing a backend only
+// remaps the identities adjacent to its ring points, not the whole key
+// space.
+//
+// The Router is opt-in and purely client-side: backends are plain
+// independent daemons that need not know about each other.
+type Router struct {
+	clients []*Client
+	ring    []ringPoint
+}
+
+// ringPoint is one virtual node: a hash position owned by a backend.
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// ringReplicas is the virtual-node count per backend. Enough points
+// that shard sizes even out across a handful of backends; cheap enough
+// that ring construction and lookup stay trivial.
+const ringReplicas = 64
+
+// NewRouter builds a router over the given base URLs. opts apply to
+// every per-backend client (retry, hedging, metrics, HTTP transport).
+func NewRouter(endpoints []string, opts ...Option) (*Router, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("client: router needs at least one endpoint")
+	}
+	r := &Router{}
+	for i, ep := range endpoints {
+		r.clients = append(r.clients, New(ep, opts...))
+		for v := 0; v < ringReplicas; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", ep, v)
+			r.ring = append(r.ring, ringPoint{hash: h.Sum64(), idx: i})
+		}
+	}
+	sort.Slice(r.ring, func(a, b int) bool { return r.ring[a].hash < r.ring[b].hash })
+	return r, nil
+}
+
+// Clients returns the per-backend clients in endpoint order.
+func (r *Router) Clients() []*Client { return r.clients }
+
+// pickIdx returns the index of the backend owning a shard key: the
+// first ring point at or after the key's hash, wrapping at the top.
+func (r *Router) pickIdx(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	v := h.Sum64()
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= v })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].idx
+}
+
+func (r *Router) pick(key string) *Client { return r.clients[r.pickIdx(key)] }
+
+// scenarioShard canonicalizes a scenario for sharding. Fields a kind
+// does not use are zero on the wire (the API omits them), so identical
+// scenarios shard identically regardless of construction.
+func scenarioShard(sc api.Scenario) string {
+	return fmt.Sprintf("%s|%g|%g|%g", sc.Kind, sc.Years, sc.LambdaP, sc.LambdaN)
+}
+
+// shardKey maps one batch item to its cache identity. Guardband and
+// paths queries are keyed by (circuit, scenario); cell-timing queries
+// by scenario alone — their server-side cost is the scenario's library,
+// which every cell of the scenario shares.
+func shardKey(it api.BatchItem) (string, error) {
+	if err := it.Validate(); err != nil {
+		return "", err
+	}
+	switch it.Kind {
+	case api.BatchGuardband:
+		return "gb|" + it.Guardband.Circuit + "|" + scenarioShard(it.Guardband.Scenario), nil
+	case api.BatchCellTiming:
+		return "ct|" + scenarioShard(it.CellTiming.Scenario), nil
+	default:
+		return "ps|" + it.Paths.Circuit + "|" + scenarioShard(it.Paths.Scenario), nil
+	}
+}
+
+// Guardband routes a guardband query to its shard's backend.
+func (r *Router) Guardband(ctx context.Context, req api.GuardbandRequest) (*api.GuardbandResponse, error) {
+	return r.pick("gb|"+req.Circuit+"|"+scenarioShard(req.Scenario)).Guardband(ctx, req)
+}
+
+// CellTiming routes a cell-timing query to its scenario's backend.
+func (r *Router) CellTiming(ctx context.Context, req api.CellTimingRequest) (*api.CellTimingResponse, error) {
+	return r.pick("ct|"+scenarioShard(req.Scenario)).CellTiming(ctx, req)
+}
+
+// Paths routes a paths query to its shard's backend.
+func (r *Router) Paths(ctx context.Context, req api.PathsRequest) (*api.PathsResponse, error) {
+	return r.pick("ps|"+req.Circuit+"|"+scenarioShard(req.Scenario)).Paths(ctx, req)
+}
+
+// Grid routes a grid query by (circuit, years).
+func (r *Router) Grid(ctx context.Context, req api.GridRequest) (*api.GridResponse, error) {
+	return r.pick(fmt.Sprintf("grid|%s|%g", req.Circuit, req.Years)).Grid(ctx, req)
+}
+
+// Batch scatters a batch across the backends owning its items' shards
+// and gathers the per-item results back into input order. Sub-batches
+// run concurrently; each travels through its backend client's full
+// Batch machinery (retries, item re-dispatch). A backend whose whole
+// sub-batch exchange fails marks only its own items — with the failure
+// status when the backend spoke HTTP, 503 when it was unreachable —
+// and the other backends' answers stand, mirroring the server's
+// per-item failure semantics.
+func (r *Router) Batch(ctx context.Context, items []api.BatchItem) (*api.BatchResponse, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("client: empty batch")
+	}
+	groups := map[int][]int{}
+	for i, it := range items {
+		key, err := shardKey(it)
+		if err != nil {
+			// Malformed items still go to a backend (the ring origin), so
+			// the server rejects them per-item exactly as a direct Batch
+			// call would.
+			key = ""
+		}
+		idx := r.pickIdx(key)
+		groups[idx] = append(groups[idx], i)
+	}
+
+	out := &api.BatchResponse{
+		Version: api.APIVersion,
+		Items:   make([]api.BatchItemResult, len(items)),
+	}
+	var wg sync.WaitGroup
+	for idx, ids := range groups {
+		wg.Add(1)
+		go func(cl *Client, ids []int) {
+			defer wg.Done()
+			sub := make([]api.BatchItem, len(ids))
+			for j, i := range ids {
+				sub[j] = items[i]
+			}
+			resp, err := cl.Batch(ctx, sub)
+			if err != nil {
+				be := &api.BatchError{Status: http.StatusServiceUnavailable, Message: err.Error()}
+				var apiErr *APIError
+				if errors.As(err, &apiErr) {
+					be.Status = apiErr.StatusCode
+				}
+				for _, i := range ids {
+					out.Items[i] = api.BatchItemResult{Error: be}
+				}
+				return
+			}
+			for j, i := range ids {
+				out.Items[i] = resp.Items[j]
+			}
+		}(r.clients[idx], ids)
+	}
+	wg.Wait()
+	return out, nil
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify fmt faults chaos bench serve-smoke
+.PHONY: all build test race verify fmt faults chaos bench serve-smoke fuzz-smoke cover-gate
 
 all: build
 
@@ -38,8 +38,39 @@ verify:
 	BENCH_PR4_OUT=$$(mktemp) BENCH_PR4_ITERS=1 $(GO) test ./internal/sta/ -run TestBenchPR4Emit -count=1
 	BENCH_PR6_OUT=$$(mktemp) BENCH_PR6_ITERS=1 $(GO) test ./internal/char/ -run TestBenchPR6Emit -count=1
 	BENCH_PR9_OUT=$$(mktemp) BENCH_PR9_ITERS=1 $(GO) test ./internal/serve/ -run TestBenchPR9Emit -count=1
+	$(MAKE) fuzz-smoke
 	$(MAKE) chaos
 	$(MAKE) serve-smoke
+
+# fuzz-smoke runs each native fuzz target for a short wall-clock budget
+# (coverage-guided mutation on top of the committed seeds). Go allows one
+# -fuzz pattern per invocation, hence one line per target. Minimization
+# is capped at 10 exec attempts per interesting input: the default 60s
+# budget can eat the whole smoke window on a 1-CPU runner while the
+# execs counter sits at zero. A crash or a violated round-trip property
+# fails the build; real fuzzing sessions can raise -fuzztime arbitrarily.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/liberty/ -run XXX -fuzz 'FuzzLibertyRead$$' \
+		-fuzztime $(FUZZTIME) -fuzzminimizetime 10x
+	$(GO) test ./pkg/ageguard/api/ -run XXX -fuzz 'FuzzBatchRequestDecode$$' \
+		-fuzztime $(FUZZTIME) -fuzzminimizetime 10x
+
+# cover-gate re-runs the full test suite with a coverage profile and
+# fails if total statement coverage drops below the committed baseline
+# (COVERAGE_BASELINE, a single percentage). The baseline is set ~2 points
+# under the measured value so refactors have headroom; raise it when
+# coverage climbs. Runs as its own CI step, not inside verify, because
+# the profiled run duplicates the whole suite.
+cover-gate:
+	@profile=$$(mktemp); \
+	$(GO) test -coverprofile=$$profile ./... || exit 1; \
+	total=$$($(GO) tool cover -func=$$profile | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	rm -f $$profile; \
+	baseline=$$(cat $(CURDIR)/COVERAGE_BASELINE); \
+	echo "total coverage $$total% (baseline $$baseline%)"; \
+	awk -v t="$$total" -v b="$$baseline" 'BEGIN { exit (t+0 < b+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below the $$baseline% baseline"; exit 1; }
 
 # serve-smoke boots a real ageguardd (quick characterization grid,
 # repo disk cache so repeated local runs stay warm), issues one query
@@ -59,7 +90,12 @@ serve-smoke:
 #   BENCH_PR9.json — one warm /v1/batch request of 32 heterogeneous items
 #                    vs the same items as sequential singles, cold and
 #                    warm, with bit-identity asserted per item (see
-#                    EXPERIMENTS.md, "BENCH_PR9").
+#                    EXPERIMENTS.md, "BENCH_PR9");
+#   BENCH_PR10.json — Monte Carlo guardband distribution: cold-vs-warm
+#                    /v1/mcguardband over real HTTP on RISC-5P with warm
+#                    bytes asserted identical, plus the sensitivity-MC
+#                    vs exact-full-SPICE differential (per-sample speedup
+#                    and p95 agreement; see EXPERIMENTS.md, "BENCH_PR10").
 # The checked-in files are the reference results; regenerate after
 # touching the engines and commit the update if the speedups moved.
 bench:
@@ -68,6 +104,8 @@ bench:
 	$(GO) run ./cmd/ageguardd -quick -cache $$(mktemp -d) -loadgen \
 		-loadgen-requests 200 -loadgen-conc 4 -bench-out $(CURDIR)/BENCH_PR7.json
 	BENCH_PR9_OUT=$(CURDIR)/BENCH_PR9.json $(GO) test ./internal/serve/ -run TestBenchPR9Emit -count=1 -v
+	$(GO) run ./cmd/ageguardd -quick -cache $$(mktemp -d) -loadgen-mc \
+		-loadgen-mc-samples 256 -loadgen-mc-exact 8 -bench-out $(CURDIR)/BENCH_PR10.json
 	$(GO) test ./internal/char/ -run XXX -bench 'BenchmarkArcTransient|BenchmarkCharacterizeINVX1' -benchtime 1s
 
 # chaos runs the end-to-end fault-injection suite under the race

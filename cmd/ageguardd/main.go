@@ -10,10 +10,12 @@
 //	ageguardd -quick -smoke                  # one query per endpoint, then drain
 //	ageguardd -loadgen -bench-out BENCH_PR7.json
 //	ageguardd -quick -loadgen-batch -bench-out BENCH_PR9.json
+//	ageguardd -quick -loadgen-mc -bench-out BENCH_PR10.json
 //
 // Endpoints: POST /v1/guardband, /v1/celltiming, /v1/grid, /v1/paths,
-// /v1/batch (heterogeneous items, planned server-side so shared
-// subproblems characterize once); GET /healthz (liveness), /readyz
+// /v1/mcguardband (process-variation Monte Carlo guardband
+// distribution), /v1/batch (heterogeneous items, planned server-side so
+// shared subproblems characterize once); GET /healthz (liveness), /readyz
 // (readiness: 503 until the
 // -warm-start scan completes and again while draining), /metrics
 // (text), /metrics.json, /debug/pprof.
@@ -32,7 +34,10 @@
 // the warm-cache latency distribution, written to -bench-out.
 // -loadgen-batch measures one /v1/batch request against the same items
 // issued as sequential singles, cold and warm (the BENCH_PR9.json
-// producer). -smoke boots the daemon the same way, issues one query per
+// producer). -loadgen-mc measures a cold versus warm Monte Carlo
+// guardband query (asserting byte identity) plus the engine-level
+// sensitivity-vs-exact differential (the BENCH_PR10.json producer).
+// -smoke boots the daemon the same way, issues one query per
 // endpoint (including a heterogeneous batch) and asserts success plus a
 // clean drain (the make serve-smoke / CI gate).
 package main
@@ -73,6 +78,11 @@ func main() {
 		loadgenBatch = flag.Bool("loadgen-batch", false, "benchmark /v1/batch against sequential singles instead of serving")
 		lgbItems     = flag.Int("loadgen-batch-items", 32, "loadgen-batch heterogeneous item count")
 		lgbIters     = flag.Int("loadgen-batch-iters", 5, "loadgen-batch warm-phase repetitions (best-of)")
+
+		loadgenMC  = flag.Bool("loadgen-mc", false, "benchmark /v1/mcguardband and the sensitivity-vs-exact differential instead of serving")
+		lgmSamples = flag.Int("loadgen-mc-samples", core.DefaultMCSamples, "loadgen-mc Monte Carlo sample count")
+		lgmExact   = flag.Int("loadgen-mc-exact", 8, "loadgen-mc exact-mode (full SPICE) sample count")
+		lgmSeed    = flag.Uint64("loadgen-mc-seed", 1, "loadgen-mc sample-stream seed")
 	)
 	c := cli.Register("ageguardd", flag.CommandLine)
 	sf := cli.RegisterServe(flag.CommandLine)
@@ -125,6 +135,29 @@ func main() {
 				rep.WarmSinglesS, rep.WarmBatchS, rep.WarmBatchVsSingles)
 			fmt.Printf("unique fills         %8d  for %d items\n", rep.UniqueFills, rep.BatchItems)
 			fmt.Printf("items bit-identical  %8v\n", rep.ItemsBitIdentical)
+			if *benchOut != "" {
+				fmt.Printf("wrote %s\n", *benchOut)
+			}
+			return nil
+		}
+		if *loadgenMC {
+			rep, err := serve.LoadgenMC(ctx, cfg, serve.MCLoadgenConfig{
+				Samples:      *lgmSamples,
+				ExactSamples: *lgmExact,
+				Circuit:      *lgCircuit,
+				Seed:         *lgmSeed,
+				Out:          *benchOut,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cold / warm mc query %8.3f / %.5f s  (%.1fx)\n",
+				rep.ColdMCQueryS, rep.WarmMCQueryS, rep.SpeedupWarmVsCold)
+			fmt.Printf("warm byte-identical  %8v\n", rep.WarmByteIdentical)
+			fmt.Printf("per-sample sens/exact %7.5f / %.3f s  (%.0fx)\n",
+				rep.SensPerSampleS, rep.ExactPerSampleS, rep.SpeedupSensVsExact)
+			fmt.Printf("p95 sens vs exact    %8.3g / %.3g s  (%.2f%% diff)\n",
+				rep.SensP95S, rep.ExactP95S, rep.P95DiffPct)
 			if *benchOut != "" {
 				fmt.Printf("wrote %s\n", *benchOut)
 			}

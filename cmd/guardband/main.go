@@ -9,7 +9,13 @@
 //	guardband -circuit FFT -scenario balance
 //	guardband -circuit DSP -scenario dynamic -steps 64
 //	guardband -circuit DSP -scenario grid   # full 11x11 duty-cycle sweep
+//	guardband -circuit DSP -scenario mc -samples 256 -seed 7
 //	guardband -all -metrics -trace-out run.json
+//
+// -scenario mc runs the process-variation Monte Carlo estimation: N
+// seeded per-instance samples of the worst-case guardband, reported as
+// mean/quantiles instead of a single point (equal seeds reproduce
+// bit-identical distributions).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"ageguard/internal/aging"
 	"ageguard/internal/cli"
 	"ageguard/internal/core"
+	"ageguard/internal/device"
 	"ageguard/internal/obs"
 	"ageguard/internal/sta"
 	"ageguard/internal/units"
@@ -30,10 +37,11 @@ func main() {
 	var (
 		circuit  = flag.String("circuit", "DSP", "benchmark circuit name")
 		all      = flag.Bool("all", false, "run every benchmark circuit")
-		scenario = flag.String("scenario", "worst", "aging stress: worst, balance, dynamic or grid")
+		scenario = flag.String("scenario", "worst", "aging stress: worst, balance, dynamic, grid or mc")
 		years    = flag.Float64("years", 10, "projected lifetime in years")
 		steps    = flag.Int("steps", 32, "workload steps (x64 vectors) for dynamic stress")
-		seed     = flag.Int64("seed", 1, "workload seed for dynamic stress")
+		seed     = flag.Int64("seed", 1, "workload seed (dynamic stress) or sample-stream seed (mc)")
+		samples  = flag.Int("samples", core.DefaultMCSamples, "Monte Carlo sample count for -scenario mc")
 		outload  = flag.Float64("outload", 0, "primary-output load in fF (0 = flow default)")
 		wirecap  = flag.Float64("wirecap", 0, "per-net wire capacitance in fF (0 = flow default)")
 	)
@@ -41,7 +49,7 @@ func main() {
 	flag.Parse()
 
 	c.Main(context.Background(), func(ctx context.Context) error {
-		return run(ctx, *circuit, *all, *scenario, *years, *steps, *seed,
+		return run(ctx, *circuit, *all, *scenario, *years, *steps, *seed, *samples,
 			c.Retries, c.Strict, staOptions(*outload, *wirecap))
 	})
 }
@@ -59,7 +67,7 @@ func staOptions(outloadFF, wirecapFF float64) []core.Option {
 	return []core.Option{core.WithSTAConfig(cfg)}
 }
 
-func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64, retries int, strict bool, staOpts []core.Option) error {
+func run(ctx context.Context, circuit string, all bool, scenario string, years float64, steps int, seed int64, samples, retries int, strict bool, staOpts []core.Option) error {
 	ctx, sp := obs.StartSpan(ctx, "guardband.run")
 	defer sp.End()
 	opts := append([]core.Option{
@@ -77,6 +85,25 @@ func run(ctx context.Context, circuit string, all bool, scenario string, years f
 				return fmt.Errorf("%s: %w", c, err)
 			}
 			fmt.Print(g.Format())
+		}
+		return nil
+	}
+	if scenario == "mc" {
+		fmt.Printf("%-10s %12s %12s %12s %12s %12s %12s\n",
+			"circuit", "nominal", "mean", "p50", "p95", "p99.9", "max")
+		for _, c := range circuits {
+			res, err := f.MCGuardband(ctx, c, aging.WorstCase(years), core.MCConfig{
+				Samples:   samples,
+				Seed:      uint64(seed),
+				Variation: device.DefaultVariation(),
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", c, err)
+			}
+			fmt.Printf("%-10s %12s %12s %12s %12s %12s %12s\n", c,
+				units.PsString(res.AgedCPS-res.FreshCPS), units.PsString(res.MeanS),
+				units.PsString(res.P50S), units.PsString(res.P95S),
+				units.PsString(res.P999S), units.PsString(res.MaxS))
 		}
 		return nil
 	}

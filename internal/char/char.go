@@ -69,6 +69,14 @@ type Config struct {
 	// Fig. 5(a) ([9,11,12,13]: Vth-only analysis).
 	VthOnly bool
 
+	// Perturb applies a uniform process-variation perturbation to every
+	// device on top of the scenario's aging degradation (per polarity;
+	// see device.Perturb). The Monte Carlo subsystem uses single-axis
+	// perturbations to finite-difference per-arc delay sensitivities; the
+	// zero value characterizes the nominal process and is bit-identical
+	// to builds that predate the knob.
+	Perturb device.Perturb
+
 	// CacheDir, when non-empty, enables the on-disk library cache.
 	CacheDir string
 
@@ -314,6 +322,11 @@ func (cfg Config) Hash() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "tech=%v|model=%v|slews=%v|loads=%v|vthonly=%v|cells=%q",
 		cfg.Tech, cfg.Model, cfg.Slews, cfg.Loads, cfg.VthOnly, cfg.Cells)
+	if !cfg.Perturb.IsZero() {
+		// Appended conditionally so nominal-process hashes (and their
+		// cache filenames) are unchanged from earlier builds.
+		fmt.Fprintf(h, "|perturb=%v", cfg.Perturb)
+	}
 	return h.Sum64()
 }
 

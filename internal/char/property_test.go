@@ -1,0 +1,112 @@
+package char
+
+import (
+	"context"
+	"testing"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/liberty"
+	"ageguard/internal/units"
+)
+
+// monoTolerance absorbs solver-level noise when comparing delays that
+// should be ordered by physics; the BTI deltas under test are orders of
+// magnitude larger.
+const monoTolerance = 1e-9
+
+// monoLib characterizes the full cell set on a 1x1 grid (the smallest
+// sweep that still exercises every cell and arc) for one scenario.
+func monoLib(t *testing.T, dir string, s aging.Scenario) *liberty.Library {
+	t.Helper()
+	cfg := TestConfig()
+	cfg.Slews = LogAxis(20*units.Ps, 20*units.Ps, 1)
+	cfg.Loads = LogAxis(2*units.FF, 2*units.FF, 1)
+	cfg.CacheDir = dir
+	l, err := cfg.Characterize(context.Background(), s)
+	if err != nil {
+		t.Fatalf("%v: %v", s, err)
+	}
+	return l
+}
+
+// requireNoFaster asserts that no arc of any cell got faster going from
+// the lo to the hi stress library.
+func requireNoFaster(t *testing.T, what string, lo, hi *liberty.Library) {
+	t.Helper()
+	for name, lc := range lo.Cells {
+		hc, ok := hi.Cells[name]
+		if !ok || len(hc.Arcs) != len(lc.Arcs) {
+			t.Fatalf("%s: cell %s arcs misaligned", what, name)
+		}
+		for ai := range lc.Arcs {
+			for e := 0; e < 2; e++ {
+				lt, ht := lc.Arcs[ai].Delay[e], hc.Arcs[ai].Delay[e]
+				if (lt == nil) != (ht == nil) {
+					t.Fatalf("%s: %s arc %d edge %d nil mismatch", what, name, ai, e)
+				}
+				if lt == nil {
+					continue
+				}
+				for i := range lt.Values {
+					for j := range lt.Values[i] {
+						a, b := lt.Values[i][j], ht.Values[i][j]
+						if b < a-monoTolerance*a {
+							t.Errorf("%s: %s arc %d edge %d [%d][%d]: %v > %v",
+								what, name, ai, e, i, j, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAgedDelayMonotonic asserts the core physical property behind every
+// guardband in the repo: for every cell and arc, delay never decreases
+// with operational years or with duty cycle (more stress, more BTI shift,
+// slower gate — the paper's Fig. 3 monotonicity).
+func TestAgedDelayMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	libs := map[string]*liberty.Library{}
+	for _, c := range []struct {
+		key string
+		s   aging.Scenario
+	}{
+		{"y0", aging.Fresh()},
+		{"y5", aging.WorstCase(5)},
+		{"y10", aging.WorstCase(10)},
+		{"l03", aging.WorstCase(10).WithLambda(0.3, 0.3)},
+		{"l07", aging.WorstCase(10).WithLambda(0.7, 0.7)},
+	} {
+		libs[c.key] = monoLib(t, dir, c.s)
+	}
+
+	// Non-decreasing in years at worst-case duty.
+	requireNoFaster(t, "0y->5y", libs["y0"], libs["y5"])
+	requireNoFaster(t, "5y->10y", libs["y5"], libs["y10"])
+	// Non-decreasing in duty cycle at fixed lifetime.
+	requireNoFaster(t, "fresh->l0.3", libs["y0"], libs["l03"])
+	requireNoFaster(t, "l0.3->l0.7", libs["l03"], libs["l07"])
+	requireNoFaster(t, "l0.7->l1.0", libs["l07"], libs["y10"])
+
+	// And the stress is not degenerate: 10 worst-case years must slow at
+	// least one arc measurably.
+	var grew bool
+	for name, fc := range libs["y0"].Cells {
+		ac := libs["y10"].Cells[name]
+		for ai := range fc.Arcs {
+			for e := 0; e < 2; e++ {
+				ft := fc.Arcs[ai].Delay[e]
+				if ft == nil {
+					continue
+				}
+				if ac.Arcs[ai].Delay[e].Values[0][0] > ft.Values[0][0]*1.001 {
+					grew = true
+				}
+			}
+		}
+	}
+	if !grew {
+		t.Error("10y worst-case stress slowed nothing: degradation path dead?")
+	}
+}

@@ -38,6 +38,9 @@ func (cfg Config) build(c *cells.Cell, s aging.Scenario) (*spice.Circuit, map[st
 		} else {
 			p = p.Degrade(degN.DVth, degN.MuFactor)
 		}
+		// Unconditional: the zero Perturb adds 0 and scales by 1, both
+		// exact, so nominal builds stay bit-identical.
+		p = p.Perturbed(cfg.Perturb)
 		ckt.MOS(p, get(spec.D), get(spec.G), get(spec.S))
 	}
 	return ckt, nodes

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/char"
+	"ageguard/internal/conc"
+	"ageguard/internal/device"
+	"ageguard/internal/liberty"
+	"ageguard/internal/netlist"
+	"ageguard/internal/obs"
+	"ageguard/internal/sta"
+)
+
+// This file implements process-variation Monte Carlo guardband estimation:
+// instead of the single-corner guardband AgedCP - FreshCP, it samples N
+// per-instance device perturbations (package device's counter-based
+// streams), re-times fresh and aged critical paths per sample through
+// sensitivity-materialized instance libraries (char.Sensitivity +
+// sta.BatchTimer), and reduces the per-sample guardbands to distribution
+// statistics. Identical draws are applied to the fresh and the aged
+// timing of each sample, so the per-sample guardband isolates aging from
+// the process spread itself.
+
+// Default Monte Carlo knobs.
+const (
+	DefaultMCSamples = 256
+	DefaultMCBins    = 32
+)
+
+// MCConfig controls one Monte Carlo guardband estimation.
+type MCConfig struct {
+	// Samples is the number of Monte Carlo samples (0 = DefaultMCSamples).
+	Samples int
+
+	// Seed selects the deterministic sample stream; equal seeds reproduce
+	// bit-identical results at any parallelism.
+	Seed uint64
+
+	// Variation sets the per-instance sigma magnitudes. The zero value
+	// draws nothing (every sample reproduces the nominal guardband);
+	// callers wanting typical process spread use device.DefaultVariation.
+	Variation device.Variation
+
+	// Exact replaces the first-order sensitivity tables with a full
+	// per-sample per-instance SPICE re-characterization — the validation
+	// reference. Orders of magnitude slower; samples run serially so the
+	// characterization can use all workers internally.
+	Exact bool
+
+	// Bins is the guardband histogram bin count (0 = DefaultMCBins).
+	Bins int
+
+	// Parallelism bounds concurrently timed samples (conc.Workers
+	// semantics). Ignored in Exact mode.
+	Parallelism int
+}
+
+func (mc MCConfig) samples() int {
+	if mc.Samples > 0 {
+		return mc.Samples
+	}
+	return DefaultMCSamples
+}
+
+func (mc MCConfig) bins() int {
+	if mc.Bins > 0 {
+		return mc.Bins
+	}
+	return DefaultMCBins
+}
+
+func (mc MCConfig) workers() int {
+	if mc.Exact {
+		return 1
+	}
+	return conc.Workers(mc.Parallelism)
+}
+
+// MCHistogram is a fixed-width histogram of the per-sample guardbands
+// over [LoS, HiS] (the observed min and max).
+type MCHistogram struct {
+	LoS    float64 `json:"lo_s"`
+	HiS    float64 `json:"hi_s"`
+	Counts []int   `json:"counts"`
+}
+
+// MCResult is the outcome of one Monte Carlo guardband estimation: the
+// nominal (zero-variation) point values, the per-sample guardbands in
+// sample order, and their distribution statistics. Quantiles interpolate
+// linearly between order statistics (see quantile).
+type MCResult struct {
+	Circuit   string
+	Scenario  aging.Scenario
+	Samples   int
+	Seed      uint64
+	Variation device.Variation
+	Exact     bool
+
+	FreshCPS float64 // nominal fresh critical path [s]
+	AgedCPS  float64 // nominal aged critical path [s]
+
+	Guardbands []float64 // per-sample guardband [s], index = sample
+
+	MeanS, StdS       float64
+	P50S, P95S, P999S float64
+	MinS, MaxS        float64
+	Hist              MCHistogram
+}
+
+// MCGuardband synthesizes the benchmark the traditional way (matching
+// StaticGuardband's baseline) and runs the Monte Carlo estimation on it.
+func (f Flow) MCGuardband(ctx context.Context, circuit string, s aging.Scenario, mc MCConfig) (*MCResult, error) {
+	nl, err := f.SynthesizeTraditional(ctx, circuit)
+	if err != nil {
+		return nil, err
+	}
+	return f.MCGuardbandNetlist(ctx, circuit, nl, s, mc)
+}
+
+// MCGuardbandNetlist runs the Monte Carlo guardband estimation on an
+// already-synthesized netlist. Results are bit-identical for equal
+// (netlist, scenario, MCConfig) regardless of MCConfig.Parallelism.
+func (f Flow) MCGuardbandNetlist(ctx context.Context, circuit string, nl *netlist.Netlist, s aging.Scenario, mc MCConfig) (*MCResult, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.guardband.mc")
+	defer sp.End()
+	sp.SetAttr("circuit", circuit)
+	sp.SetAttr("scenario", s.String())
+	n := mc.samples()
+	sp.SetAttr("samples", n)
+	reg := obs.From(ctx)
+	t0 := time.Now()
+	defer func() {
+		reg.Counter("core.mc.runs").Inc()
+		reg.Counter("core.mc.samples").Add(int64(n))
+		reg.Histogram("core.mc.seconds").Since(t0)
+	}()
+
+	snFresh, err := f.Char.Sensitivities(ctx, aging.Fresh())
+	if err != nil {
+		return nil, err
+	}
+	snAged, err := f.Char.Sensitivities(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Nominal point guardband, exactly StaticGuardband's arithmetic.
+	fcp, err := f.CP(ctx, nl, snFresh.Base)
+	if err != nil {
+		return nil, err
+	}
+	acp, err := f.CP(ctx, nl, snAged.Base)
+	if err != nil {
+		return nil, err
+	}
+
+	// The instance-variant netlist: every instance references its own
+	// per-instance cell. Pin capacitances are geometry-only, so loads —
+	// and the compiled topology — are shared by all samples and both
+	// scenarios.
+	vnl := nl.Clone()
+	insts := make([]char.InstDraw, len(vnl.Insts))
+	for i, in := range vnl.Insts {
+		insts[i] = char.InstDraw{Inst: in.Name, Cell: in.Cell}
+		in.Cell = char.VariantCell(in.Cell, in.Name)
+	}
+	template, err := snFresh.SampleLibrary("mc_template", insts)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := sta.NewBatchTimer(ctx, vnl, template, f.STA)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MCResult{
+		Circuit:   circuit,
+		Scenario:  s,
+		Samples:   n,
+		Seed:      mc.Seed,
+		Variation: mc.Variation,
+		Exact:     mc.Exact,
+		FreshCPS:  fcp,
+		AgedCPS:   acp,
+	}
+	res.Guardbands = make([]float64, n)
+
+	// Exact mode shares one simulation limiter across the serial sample
+	// loop so the per-cell SPICE sweeps keep every worker busy.
+	var exactLim conc.Limiter
+	if mc.Exact {
+		exactLim = conc.NewLimiter(conc.Workers(f.Char.Parallelism))
+	}
+
+	err = conc.ParFor(ctx, mc.workers(), n, func(i int) error {
+		draws := make([]char.InstDraw, len(insts))
+		copy(draws, insts)
+		for k := range draws {
+			draws[k].Pb = mc.Variation.Sample(mc.Seed, uint64(i), draws[k].Inst)
+		}
+		var freshLib, agedLib *liberty.Library
+		var err error
+		if mc.Exact {
+			freshLib, err = f.exactSampleLibrary(ctx, exactLim, snFresh, aging.Fresh(), draws, i)
+			if err == nil {
+				agedLib, err = f.exactSampleLibrary(ctx, exactLim, snAged, s, draws, i)
+			}
+		} else {
+			freshLib, err = snFresh.SampleLibrary(fmt.Sprintf("mc_fresh_%d", i), draws)
+			if err == nil {
+				agedLib, err = snAged.SampleLibrary(fmt.Sprintf("mc_aged_%d", i), draws)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		sf, err := bt.CP(ctx, freshLib)
+		if err != nil {
+			return err
+		}
+		sa, err := bt.CP(ctx, agedLib)
+		if err != nil {
+			return err
+		}
+		res.Guardbands[i] = sa - sf
+		return nil
+	})
+	if err != nil {
+		return nil, conc.WrapCanceled(err)
+	}
+
+	res.reduce(mc.bins())
+	return res, nil
+}
+
+// exactSampleLibrary re-characterizes every drawn instance with its full
+// perturbation through the SPICE sweep and assembles the instance-variant
+// library — the Monte Carlo validation reference.
+func (f Flow) exactSampleLibrary(ctx context.Context, lim conc.Limiter, sn *char.Sensitivity, s aging.Scenario, draws []char.InstDraw, sample int) (*liberty.Library, error) {
+	lib := &liberty.Library{
+		Name:     fmt.Sprintf("mc_exact_%s_%d", sn.Base.Name, sample),
+		Scenario: sn.Base.Scenario,
+		Vdd:      sn.Base.Vdd,
+		Slews:    sn.Base.Slews,
+		Loads:    sn.Base.Loads,
+		Cells:    make(map[string]*liberty.CellTiming, len(draws)),
+	}
+	for _, d := range draws {
+		ct, err := f.Char.CharacterizeCellPerturbed(ctx, lim, d.Cell, s, d.Pb)
+		if err != nil {
+			return nil, err
+		}
+		cp := *ct
+		cp.Name = char.VariantCell(d.Cell, d.Inst)
+		lib.Cells[cp.Name] = &cp
+	}
+	return lib, nil
+}
+
+// reduce fills the distribution statistics from the per-sample guardbands.
+func (r *MCResult) reduce(bins int) {
+	n := len(r.Guardbands)
+	var sum, sum2 float64
+	for _, g := range r.Guardbands {
+		sum += g
+		sum2 += g * g
+	}
+	r.MeanS = sum / float64(n)
+	if v := sum2/float64(n) - r.MeanS*r.MeanS; v > 0 {
+		r.StdS = math.Sqrt(v)
+	}
+	sorted := append([]float64(nil), r.Guardbands...)
+	sort.Float64s(sorted)
+	r.MinS, r.MaxS = sorted[0], sorted[n-1]
+	r.P50S = quantile(sorted, 0.50)
+	r.P95S = quantile(sorted, 0.95)
+	r.P999S = quantile(sorted, 0.999)
+	r.Hist = histogram(sorted, bins)
+}
+
+// quantile interpolates linearly between order statistics of an ascending
+// sample: the q-quantile sits at fractional rank q*(n-1).
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// histogram bins an ascending sample over [min, max]. A degenerate
+// distribution (max == min) lands entirely in bin 0.
+func histogram(sorted []float64, bins int) MCHistogram {
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	h := MCHistogram{LoS: lo, HiS: hi, Counts: make([]int, bins)}
+	span := hi - lo
+	for _, g := range sorted {
+		idx := 0
+		if span > 0 {
+			idx = int((g - lo) / span * float64(bins))
+			if idx >= bins {
+				idx = bins - 1
+			}
+		}
+		h.Counts[idx]++
+	}
+	return h
+}

@@ -1,0 +1,153 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements per-instance process variation: every placed cell
+// instance receives its own threshold-voltage shift and relative mobility
+// change, drawn from seeded normal distributions. The generator is
+// counter-based: each draw is a pure function of (seed, sample index,
+// instance name, channel), with no shared stream state, so a Monte Carlo
+// run produces bit-identical samples no matter how the work is split
+// across goroutines or re-run across processes.
+
+// Perturb is a deterministic device-parameter perturbation applied on top
+// of scenario degradation: absolute threshold shifts and relative mobility
+// changes, per polarity. The zero value is a no-op.
+type Perturb struct {
+	DVthP float64 // added to pMOS |Vth0| [V]
+	DVthN float64 // added to nMOS |Vth0| [V]
+	DMuP  float64 // relative pMOS mobility change: mu *= (1 + DMuP)
+	DMuN  float64 // relative nMOS mobility change: mu *= (1 + DMuN)
+}
+
+// IsZero reports whether the perturbation changes nothing.
+func (pb Perturb) IsZero() bool { return pb == Perturb{} }
+
+// Add composes two perturbations: threshold shifts sum, relative mobility
+// changes compose multiplicatively.
+func (pb Perturb) Add(q Perturb) Perturb {
+	return Perturb{
+		DVthP: pb.DVthP + q.DVthP,
+		DVthN: pb.DVthN + q.DVthN,
+		DMuP:  (1+pb.DMuP)*(1+q.DMuP) - 1,
+		DMuN:  (1+pb.DMuN)*(1+q.DMuN) - 1,
+	}
+}
+
+// String renders the perturbation for logs and config hashes.
+func (pb Perturb) String() string {
+	return fmt.Sprintf("dvthp=%g dvthn=%g dmup=%g dmun=%g", pb.DVthP, pb.DVthN, pb.DMuP, pb.DMuN)
+}
+
+// Perturbed applies the perturbation matching p's polarity. Like Degrade
+// it returns a copy; applying the zero Perturb is bit-identical to not
+// applying it (adding 0 and scaling by 1 are exact).
+func (p Params) Perturbed(pb Perturb) Params {
+	q := p
+	if p.Type == PMOS {
+		q.Vth += pb.DVthP
+		q.Mu *= 1 + pb.DMuP
+	} else {
+		q.Vth += pb.DVthN
+		q.Mu *= 1 + pb.DMuN
+	}
+	return q
+}
+
+// Variation describes the magnitude of per-instance process variation:
+// independent normal distributions for the threshold voltage (absolute)
+// and the mobility (relative), shared by both polarities.
+type Variation struct {
+	SigmaVth   float64 // std dev of the per-instance Vth0 shift [V]
+	SigmaMuRel float64 // std dev of the relative mobility variation
+}
+
+// DefaultVariation returns local-variation magnitudes typical of a 45 nm
+// class process: sigma(Vth0) = 15 mV, sigma(mu)/mu = 3%.
+func DefaultVariation() Variation {
+	return Variation{SigmaVth: 0.015, SigmaMuRel: 0.03}
+}
+
+// IsZero reports whether the variation draws nothing.
+func (v Variation) IsZero() bool { return v == Variation{} }
+
+// Perturbation safety clamps: a pathological sigma (or an adversarial
+// request) must not push a device into an unphysical regime where the
+// compact model misbehaves (mobility <= 0, threshold far outside the
+// supply). Draws this far out are > 10 sigma for any sane configuration,
+// so the clamp never fires in practice.
+const (
+	maxDVth   = 0.3 // [V]
+	maxDMuRel = 0.8 // relative
+)
+
+func clampDraw(x, lim float64) float64 {
+	if x > lim {
+		return lim
+	}
+	if x < -lim {
+		return -lim
+	}
+	return x
+}
+
+// Sample draws the perturbation of one instance in one Monte Carlo
+// sample. It is a pure function of (seed, sample, inst): bit-identical
+// across runs, processes and any partitioning of samples over goroutines.
+// The four channels (pMOS/nMOS threshold and mobility) are independent.
+func (v Variation) Sample(seed, sample uint64, inst string) Perturb {
+	h := instHash(inst)
+	return Perturb{
+		DVthP: clampDraw(v.SigmaVth*normal(seed, sample, h, 0), maxDVth),
+		DVthN: clampDraw(v.SigmaVth*normal(seed, sample, h, 1), maxDVth),
+		DMuP:  clampDraw(v.SigmaMuRel*normal(seed, sample, h, 2), maxDMuRel),
+		DMuN:  clampDraw(v.SigmaMuRel*normal(seed, sample, h, 3), maxDMuRel),
+	}
+}
+
+// instHash is FNV-1a over the instance name: stable across processes
+// (unlike Go's randomized map/string hashes).
+func instHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix is the splitmix64 finalizer: a full-avalanche 64-bit permutation.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// counterBits derives one uniform 64-bit word from the draw coordinates.
+// Chained mixes (rather than a linear combination) keep distinct
+// coordinates from colliding.
+func counterBits(seed, sample, inst, ctr uint64) uint64 {
+	return mix(seed ^ mix(sample^mix(inst^mix(ctr))))
+}
+
+// uniform maps the coordinates to (0, 1), never returning an endpoint
+// (Box-Muller needs log(u) finite).
+func uniform(seed, sample, inst, ctr uint64) float64 {
+	return (float64(counterBits(seed, sample, inst, ctr)>>11) + 0.5) / (1 << 53)
+}
+
+// normal draws one standard-normal variate for the given channel via the
+// Box-Muller transform over two counter-indexed uniforms.
+func normal(seed, sample, inst uint64, channel uint64) float64 {
+	u1 := uniform(seed, sample, inst, 2*channel)
+	u2 := uniform(seed, sample, inst, 2*channel+1)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

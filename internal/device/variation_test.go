@@ -1,0 +1,133 @@
+package device
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestPerturbedZeroIsIdentity(t *testing.T) {
+	tech := Default45()
+	for _, typ := range []Type{PMOS, NMOS} {
+		p := tech.Transistor(typ, 4e-7)
+		q := p.Perturbed(Perturb{})
+		if q != p {
+			t.Fatalf("zero perturb changed params: %+v vs %+v", q, p)
+		}
+	}
+}
+
+func TestPerturbedPolarity(t *testing.T) {
+	pb := Perturb{DVthP: 0.02, DVthN: -0.01, DMuP: 0.05, DMuN: -0.03}
+	p := Params{Type: PMOS, Vth: 0.4, Mu: 0.02}
+	n := Params{Type: NMOS, Vth: 0.45, Mu: 0.05}
+	gp, gn := p.Perturbed(pb), n.Perturbed(pb)
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !approx(gp.Vth, 0.42) || !approx(gp.Mu, 0.021) {
+		t.Fatalf("pMOS perturb wrong: %+v", gp)
+	}
+	if !approx(gn.Vth, 0.44) || !approx(gn.Mu, 0.0485) {
+		t.Fatalf("nMOS perturb wrong: %+v", gn)
+	}
+}
+
+func TestPerturbAdd(t *testing.T) {
+	a := Perturb{DVthP: 0.01, DMuN: 0.1}
+	b := Perturb{DVthP: 0.02, DMuN: 0.2}
+	c := a.Add(b)
+	if c.DVthP != 0.03 {
+		t.Fatalf("Vth shifts should sum: %v", c.DVthP)
+	}
+	if want := 1.1*1.2 - 1; math.Abs(c.DMuN-want) > 1e-15 {
+		t.Fatalf("Mu changes should compose: %v want %v", c.DMuN, want)
+	}
+}
+
+// Same coordinates must give bit-identical draws regardless of call
+// order, goroutine, or process (the constants are fixed).
+func TestSampleDeterministic(t *testing.T) {
+	v := DefaultVariation()
+	want := v.Sample(42, 7, "u13")
+
+	// Re-draw interleaved with other coordinates, from many goroutines.
+	var wg sync.WaitGroup
+	got := make([]Perturb, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = v.Sample(uint64(i), 3, "other")
+			got[i] = v.Sample(42, 7, "u13")
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Fatalf("draw %d not bit-identical: %+v vs %+v", i, g, want)
+		}
+	}
+}
+
+// Distinct coordinates must give distinct draws: instances decorrelated
+// within a sample, samples decorrelated for an instance, seeds decorrelate
+// everything.
+func TestSampleDecorrelated(t *testing.T) {
+	v := DefaultVariation()
+	base := v.Sample(1, 0, "u0")
+	for _, other := range []Perturb{
+		v.Sample(1, 0, "u1"),
+		v.Sample(1, 1, "u0"),
+		v.Sample(2, 0, "u0"),
+	} {
+		if other == base {
+			t.Fatalf("coordinates collide: %+v", base)
+		}
+	}
+}
+
+// The empirical moments of the draws must match the configured sigmas.
+func TestSampleMoments(t *testing.T) {
+	v := Variation{SigmaVth: 0.015, SigmaMuRel: 0.03}
+	const n = 20000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := v.Sample(9, uint64(i), "uX").DVthN
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 4*v.SigmaVth/math.Sqrt(n) {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+	if math.Abs(std-v.SigmaVth) > 0.05*v.SigmaVth {
+		t.Fatalf("std %v want ~%v", std, v.SigmaVth)
+	}
+}
+
+func TestSampleZeroVariation(t *testing.T) {
+	var v Variation
+	if !v.IsZero() {
+		t.Fatal("zero Variation not IsZero")
+	}
+	if pb := v.Sample(5, 5, "u5"); !pb.IsZero() {
+		t.Fatalf("zero variation drew nonzero perturb: %+v", pb)
+	}
+}
+
+func TestSampleClamped(t *testing.T) {
+	v := Variation{SigmaVth: 10, SigmaMuRel: 10} // pathological
+	for i := 0; i < 200; i++ {
+		pb := v.Sample(3, uint64(i), "u")
+		for _, x := range []float64{pb.DVthP, pb.DVthN} {
+			if math.Abs(x) > maxDVth {
+				t.Fatalf("DVth %v exceeds clamp", x)
+			}
+		}
+		for _, x := range []float64{pb.DMuP, pb.DMuN} {
+			if math.Abs(x) > maxDMuRel {
+				t.Fatalf("DMu %v exceeds clamp", x)
+			}
+		}
+	}
+}

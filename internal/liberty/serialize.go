@@ -124,6 +124,20 @@ func need(f []string, n int) error {
 	return nil
 }
 
+// maxAxisPoints bounds a table axis read from disk. Real
+// characterization grids are tens of points per axis; the cap exists
+// because every TABLE block allocates len(Slews)*len(Loads) floats up
+// front, so a corrupted cache entry carrying a megabyte-long axis line
+// must fail parsing instead of driving a multi-gigabyte allocation.
+const maxAxisPoints = 1024
+
+func parseAxis(fields []string) ([]float64, error) {
+	if len(fields) > maxAxisPoints {
+		return nil, fmt.Errorf("axis has %d points, limit %d", len(fields), maxAxisPoints)
+	}
+	return parseFloats(fields)
+}
+
 func parseFloats(fields []string) ([]float64, error) {
 	out := make([]float64, len(fields))
 	for i, f := range fields {
@@ -171,13 +185,13 @@ func (p *parser) library() (*Library, error) {
 			}
 			l.Vdd = v
 		case "SLEWS":
-			v, err := parseFloats(f[1:])
+			v, err := parseAxis(f[1:])
 			if err != nil {
 				return nil, err
 			}
 			l.Slews = v
 		case "LOADS":
-			v, err := parseFloats(f[1:])
+			v, err := parseAxis(f[1:])
 			if err != nil {
 				return nil, err
 			}
@@ -189,6 +203,12 @@ func (p *parser) library() (*Library, error) {
 			}
 			l.Cells[ct.Name] = ct
 		case "ENDLIB":
+			// Write always emits a LIBRARY header; a file reaching ENDLIB
+			// without one would re-serialize as a short LIBRARY line that
+			// Read itself rejects, so refuse the round-trip asymmetry here.
+			if l.Name == "" {
+				return nil, fmt.Errorf("missing LIBRARY header")
+			}
 			return l, nil
 		default:
 			return nil, fmt.Errorf("unexpected token %q", f[0])

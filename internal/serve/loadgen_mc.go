@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/core"
+	"ageguard/internal/device"
+	"ageguard/internal/netlist"
+	"ageguard/pkg/ageguard/api"
+	"ageguard/pkg/ageguard/client"
+)
+
+// MCLoadgenConfig parameterizes the Monte Carlo self-benchmark
+// (ageguardd -loadgen-mc), the BENCH_PR10.json producer. Two phases:
+//
+//  1. HTTP: one cold /v1/mcguardband query at Samples against the real
+//     benchmark circuit, then a warm repeat whose body must be
+//     byte-identical (the LRU replays the distribution; the counter-based
+//     streams would make even a recomputation bit-identical).
+//  2. Engine differential: the sensitivity path versus the exact
+//     per-sample full-SPICE re-characterization on a small registered
+//     chain (exact mode on a synthesized benchmark would re-simulate
+//     thousands of instances per sample), same seed and sample count,
+//     comparing per-sample cost and the p95 guardband.
+type MCLoadgenConfig struct {
+	Samples      int    // HTTP-phase Monte Carlo samples (default 256)
+	ExactSamples int    // differential-phase samples (default 8)
+	Circuit      string // benchmark circuit queried over HTTP (default "RISC-5P")
+	Seed         uint64 // sample-stream seed for both phases
+	Out          string // report path ("" = don't write)
+}
+
+func (lg *MCLoadgenConfig) fill() {
+	if lg.Samples <= 0 {
+		lg.Samples = core.DefaultMCSamples
+	}
+	if lg.ExactSamples <= 0 {
+		lg.ExactSamples = 8
+	}
+	if lg.Circuit == "" {
+		lg.Circuit = "RISC-5P"
+	}
+}
+
+// BenchMCReport is the BENCH_PR10.json shape.
+type BenchMCReport struct {
+	Bench     string `json:"bench"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+
+	Circuit string `json:"circuit"`
+	Samples int    `json:"samples"`
+	Seed    uint64 `json:"seed"`
+
+	// HTTP phase.
+	ColdMCQueryS      float64 `json:"cold_mc_query_s"`
+	WarmMCQueryS      float64 `json:"warm_mc_query_s"`
+	WarmByteIdentical bool    `json:"warm_byte_identical"`
+	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold"`
+
+	// Engine differential phase (small chain; see DiffInsts).
+	DiffInsts          int     `json:"diff_insts"`
+	DiffSamples        int     `json:"diff_samples"`
+	SensPerSampleS     float64 `json:"sens_per_sample_s"`
+	ExactPerSampleS    float64 `json:"exact_per_sample_s"`
+	SpeedupSensVsExact float64 `json:"speedup_sens_vs_exact"`
+	SensP95S           float64 `json:"sens_p95_s"`
+	ExactP95S          float64 `json:"exact_p95_s"`
+	P95DiffPct         float64 `json:"p95_diff_pct"`
+}
+
+// mcBenchNetlist builds the registered chain the differential phase
+// times: capture flop, n combinational stages, launch flop.
+func mcBenchNetlist(n int) *netlist.Netlist {
+	nl := netlist.New("mcbench")
+	nl.Inputs = []string{"a", "b"}
+	nl.Outputs = []string{"y"}
+	nl.AddInst("rin", "DFF_X1", map[string]string{"D": "a", "CK": netlist.ClockNet, "Q": "w0"})
+	nl.AddInst("rb", "DFF_X1", map[string]string{"D": "b", "CK": netlist.ClockNet, "Q": "wb"})
+	nl.AddInst("g0", "NAND2_X1", map[string]string{"A1": "w0", "A2": "wb", "ZN": "w1"})
+	prev := "w1"
+	for i := 1; i < n; i++ {
+		out := fmt.Sprintf("w%d", i+1)
+		nl.AddInst(fmt.Sprintf("g%d", i), "INV_X1", map[string]string{"A": prev, "ZN": out})
+		prev = out
+	}
+	nl.AddInst("rout", "DFF_X1", map[string]string{"D": prev, "CK": netlist.ClockNet, "Q": "y"})
+	return nl
+}
+
+// LoadgenMC runs the Monte Carlo benchmark: the HTTP cold/warm phase on
+// a loopback server, then the engine-level sensitivity-vs-exact
+// differential. Writes the report to lg.Out when set and returns it.
+func LoadgenMC(ctx context.Context, cfg Config, lg MCLoadgenConfig) (*BenchMCReport, error) {
+	lg.fill()
+	rep := &BenchMCReport{
+		Bench:     "PR10",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Circuit:   lg.Circuit,
+		Samples:   lg.Samples,
+		Seed:      lg.Seed,
+	}
+
+	if err := loadgenMCHTTP(ctx, cfg, lg, rep); err != nil {
+		return nil, err
+	}
+	if err := loadgenMCDiff(ctx, cfg, lg, rep); err != nil {
+		return nil, err
+	}
+
+	if lg.Out != "" {
+		if err := writeReport(lg.Out, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// loadgenMCHTTP measures the cold and warm /v1/mcguardband query and
+// asserts byte identity of the two bodies.
+func loadgenMCHTTP(ctx context.Context, cfg Config, lg MCLoadgenConfig, rep *BenchMCReport) error {
+	s := New(cfg, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	// The server's lifetime is managed by stop/done below, not by the
+	// caller's ctx, so the drain stays clean even when ctx is canceled.
+	serveCtx, stop := context.WithCancel(context.WithoutCancel(ctx))
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(serveCtx, ln) }()
+	defer func() {
+		stop()
+		<-done
+	}()
+
+	base := "http://" + ln.Addr().String()
+	if err := client.New(base).Healthz(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	body, err := json.Marshal(api.MCGuardbandRequest{
+		Circuit:  lg.Circuit,
+		Scenario: api.Scenario{Kind: "worst"},
+		Samples:  lg.Samples,
+		Seed:     lg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	post := func() ([]byte, float64, error) {
+		t0 := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/v1/mcguardband", bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer res.Body.Close()
+		raw, err := io.ReadAll(res.Body)
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.StatusCode != http.StatusOK {
+			return nil, 0, fmt.Errorf("status %d: %s", res.StatusCode, raw)
+		}
+		return raw, time.Since(t0).Seconds(), nil
+	}
+
+	coldBody, coldS, err := post()
+	if err != nil {
+		return fmt.Errorf("cold mc query: %w", err)
+	}
+	warmBody, warmS, err := post()
+	if err != nil {
+		return fmt.Errorf("warm mc query: %w", err)
+	}
+	rep.ColdMCQueryS = coldS
+	rep.WarmMCQueryS = warmS
+	rep.WarmByteIdentical = bytes.Equal(coldBody, warmBody)
+	if !rep.WarmByteIdentical {
+		return fmt.Errorf("warm /v1/mcguardband body differs from cold")
+	}
+	if warmS > 0 {
+		rep.SpeedupWarmVsCold = coldS / warmS
+	}
+	return nil
+}
+
+// loadgenMCDiff times the sensitivity path at lg.Samples and the exact
+// full-SPICE path at lg.ExactSamples on the same small chain, and
+// compares the p95 guardband of same-seed same-count runs of both.
+func loadgenMCDiff(ctx context.Context, cfg Config, lg MCLoadgenConfig, rep *BenchMCReport) error {
+	f := cfg.Flow
+	nl := mcBenchNetlist(6)
+	sc := aging.WorstCase(f.Lifetime)
+	v := device.DefaultVariation()
+	rep.DiffInsts = len(nl.Insts)
+	rep.DiffSamples = lg.ExactSamples
+
+	// Sensitivity per-sample cost, amortized at the headline sample count
+	// (the five-characterization setup is part of the cost and is shared
+	// with the HTTP phase through the disk cache).
+	t0 := time.Now()
+	if _, err := f.MCGuardbandNetlist(ctx, "mcbench", nl, sc, core.MCConfig{
+		Samples: lg.Samples, Seed: lg.Seed, Variation: v,
+		Parallelism: f.Parallelism,
+	}); err != nil {
+		return fmt.Errorf("sens mc (N=%d): %w", lg.Samples, err)
+	}
+	rep.SensPerSampleS = time.Since(t0).Seconds() / float64(lg.Samples)
+
+	// Same seed, same (small) sample count through both paths for the
+	// distribution differential.
+	sens, err := f.MCGuardbandNetlist(ctx, "mcbench", nl, sc, core.MCConfig{
+		Samples: lg.ExactSamples, Seed: lg.Seed, Variation: v,
+		Parallelism: f.Parallelism,
+	})
+	if err != nil {
+		return fmt.Errorf("sens mc (N=%d): %w", lg.ExactSamples, err)
+	}
+	t0 = time.Now()
+	exact, err := f.MCGuardbandNetlist(ctx, "mcbench", nl, sc, core.MCConfig{
+		Samples: lg.ExactSamples, Seed: lg.Seed, Variation: v, Exact: true,
+	})
+	if err != nil {
+		return fmt.Errorf("exact mc: %w", err)
+	}
+	rep.ExactPerSampleS = time.Since(t0).Seconds() / float64(lg.ExactSamples)
+
+	if rep.SensPerSampleS > 0 {
+		rep.SpeedupSensVsExact = rep.ExactPerSampleS / rep.SensPerSampleS
+	}
+	rep.SensP95S = sens.P95S
+	rep.ExactP95S = exact.P95S
+	if exact.P95S != 0 {
+		rep.P95DiffPct = 100 * math.Abs(sens.P95S-exact.P95S) / math.Abs(exact.P95S)
+	}
+	return nil
+}

@@ -357,8 +357,17 @@ func TestDrainFinishesInflightRequests(t *testing.T) {
 		_, err := cl.Guardband(context.Background(), req)
 		resc <- err
 	}()
-	time.Sleep(150 * time.Millisecond) // let the cold query reach the solver
-	cancel()                           // SIGTERM equivalent
+	// Wait until the cold query is genuinely in flight — its cache fill
+	// has started (a miss is counted) — rather than sleeping a fixed
+	// interval and hoping the goroutine got that far.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Registry().Snapshot().Counters["serve.cache.misses"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cold query never started its cache fill")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel() // SIGTERM equivalent
 
 	if err := <-resc; err != nil {
 		t.Errorf("in-flight request failed during drain: %v", err)

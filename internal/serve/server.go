@@ -144,7 +144,7 @@ func New(cfg Config, reg *obs.Registry) *Server {
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the daemon's routing table: the five /v1 query
+// Handler returns the daemon's routing table: the six /v1 query
 // endpoints plus /healthz, /metrics (text), /metrics.json and
 // /debug/pprof.
 func (s *Server) Handler() http.Handler {
@@ -153,6 +153,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/celltiming", handleJSON(s, "celltiming", s.cellTiming))
 	mux.Handle("POST /v1/grid", handleJSON(s, "grid", s.grid))
 	mux.Handle("POST /v1/paths", handleJSON(s, "paths", s.paths))
+	mux.Handle("POST /v1/mcguardband", handleJSON(s, "mc", s.mcGuardband))
 	mux.Handle("POST /v1/batch", handleBatch(s))
 
 	// Liveness: the process is up and serving HTTP. Stays 200 through

@@ -20,7 +20,7 @@ type SmokeConfig struct {
 }
 
 // Smoke starts a Server for cfg on a loopback listener, issues one
-// query per endpoint (the four POST /v1 endpoints plus the health,
+// query per endpoint (the six POST /v1 endpoints plus the health,
 // metrics and pprof GETs), asserts every one succeeds, then cancels the
 // serve context and asserts the drain is clean. It is the make
 // serve-smoke / CI gate: a fast end-to-end proof that the daemon comes
@@ -176,6 +176,18 @@ func Smoke(ctx context.Context, cfg Config, sm SmokeConfig, lg *log.Logger) erro
 			gb := resp.Items[0].Guardband
 			if gb == nil || gb.AgedCPs <= gb.FreshCPs {
 				return fmt.Errorf("implausible batched guardband: %+v", gb)
+			}
+			return nil
+		}},
+		{"mcguardband", func() error {
+			resp, err := cl.MCGuardband(ctx, api.MCGuardbandRequest{
+				Circuit: sm.Circuit, Scenario: scen, Samples: 8, Seed: 1, Bins: 8,
+			})
+			if err != nil {
+				return err
+			}
+			if resp.Samples != 8 || resp.MeanS <= 0 || resp.MaxS < resp.MinS {
+				return fmt.Errorf("implausible mc distribution: %+v", resp)
 			}
 			return nil
 		}},

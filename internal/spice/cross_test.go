@@ -1,0 +1,116 @@
+package spice
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// crossLinear is the reference implementation of Result.Cross: a plain
+// left-to-right scan with no binary search. The production version must
+// agree with it exactly on every waveform.
+func crossLinear(r *Result, n NodeID, v float64, rising bool, after float64) (float64, bool) {
+	for i := 1; i < len(r.T); i++ {
+		if r.T[i] < after {
+			continue
+		}
+		a, b := r.Voltage(i-1, n), r.Voltage(i, n)
+		if rising && a < v && b >= v || !rising && a > v && b <= v {
+			f := (v - a) / (b - a)
+			return r.T[i-1] + (r.T[i]-r.T[i-1])*f, true
+		}
+	}
+	return 0, false
+}
+
+// randomResult builds a Result with nn nodes and samples strictly
+// ascending in time, voltages wandering within [-0.2, 1.3] so threshold
+// crossings at typical levels are common but not guaranteed.
+func randomResult(rng *rand.Rand, nn, samples int) *Result {
+	r := &Result{nn: nn}
+	t := 0.0
+	vs := make([]float64, nn)
+	for j := range vs {
+		vs[j] = rng.Float64()
+	}
+	for i := 0; i < samples; i++ {
+		t += 1e-12 * (0.1 + rng.Float64())
+		for j := range vs {
+			vs[j] += 0.4 * (rng.Float64() - 0.5)
+			if vs[j] < -0.2 {
+				vs[j] = -0.2
+			}
+			if vs[j] > 1.3 {
+				vs[j] = 1.3
+			}
+		}
+		r.appendSample(t, vs)
+	}
+	return r
+}
+
+// TestCrossMatchesLinearScan drives Result.Cross (binary-searched start
+// point) against the linear reference on randomized waveforms, thresholds
+// and start times, in both directions.
+func TestCrossMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		nn := 1 + rng.Intn(3)
+		samples := 2 + rng.Intn(60)
+		r := randomResult(rng, nn, samples)
+		for probe := 0; probe < 20; probe++ {
+			n := NodeID(rng.Intn(nn))
+			v := -0.3 + 1.8*rng.Float64()
+			rising := rng.Intn(2) == 0
+			// after: inside the trace, before it, or past its end.
+			var after float64
+			switch rng.Intn(4) {
+			case 0:
+				after = 0
+			case 1:
+				after = r.T[len(r.T)-1] * 1.1
+			default:
+				after = r.T[0] + (r.T[len(r.T)-1]-r.T[0])*rng.Float64()
+			}
+			gt, gok := r.Cross(n, v, rising, after)
+			wt, wok := crossLinear(r, n, v, rising, after)
+			if gok != wok || (gok && gt != wt) {
+				t.Fatalf("trial %d probe %d: Cross(n=%d v=%v rising=%v after=%v) = (%v, %v), linear scan = (%v, %v)",
+					trial, probe, n, v, rising, after, gt, gok, wt, wok)
+			}
+			if gok && gt < after && after <= r.T[len(r.T)-1] {
+				// A crossing in the pair straddling 'after' may start
+				// before it; the interpolated time must still come from
+				// a segment ending at or after 'after'.
+				i := 1
+				for ; i < len(r.T) && r.T[i] < after; i++ {
+				}
+				if i < len(r.T) && gt < r.T[i-1] {
+					t.Fatalf("trial %d: crossing at %v before segment start %v", trial, gt, r.T[i-1])
+				}
+			}
+		}
+	}
+}
+
+// TestCrossKnownWaveform pins Cross behavior on a hand-built ramp.
+func TestCrossKnownWaveform(t *testing.T) {
+	r := &Result{nn: 1}
+	for i := 0; i <= 10; i++ {
+		r.appendSample(float64(i), []float64{float64(i) / 10})
+	}
+	ct, ok := r.Cross(0, 0.55, true, 0)
+	if !ok || ct < 5.5-1e-9 || ct > 5.5+1e-9 {
+		t.Errorf("rising cross = %v, %v; want 5.5, true", ct, ok)
+	}
+	if _, ok := r.Cross(0, 0.55, false, 0); ok {
+		t.Error("found a falling crossing on a rising ramp")
+	}
+	// after=6 still sees the [5,6] segment (it ends at 'after'); after=7
+	// starts past the crossing entirely.
+	if _, ok := r.Cross(0, 0.55, true, 7); ok {
+		t.Error("found a crossing after it already happened")
+	}
+	if _, ok := r.Cross(0, 2.0, true, 0); ok {
+		t.Error("crossed a level above the waveform")
+	}
+}

@@ -1,0 +1,103 @@
+package sta
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ageguard/internal/aging"
+	"ageguard/internal/liberty"
+)
+
+func TestBatchTimerMatchesAnalyze(t *testing.T) {
+	fresh := lib(t, aging.Fresh())
+	aged := lib(t, aging.WorstCase(10))
+	nl := chain(4)
+	ctx := context.Background()
+
+	bt, err := NewBatchTimer(ctx, nl, fresh, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []*liberty.Library{fresh, aged} {
+		want, err := Analyze(ctx, nl, l, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bt.CP(ctx, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The batch timer re-binds a precompiled topology; it must be
+		// bit-identical to a standalone analysis, not merely close.
+		if got != want.CP {
+			t.Errorf("%s: batch CP %v != Analyze CP %v", l.Scenario, got, want.CP)
+		}
+	}
+}
+
+func TestBatchTimerConcurrent(t *testing.T) {
+	fresh := lib(t, aging.Fresh())
+	aged := lib(t, aging.WorstCase(10))
+	nl := chain(3)
+	ctx := context.Background()
+	bt, err := NewBatchTimer(ctx, nl, fresh, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := bt.CP(ctx, aged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One timer, many goroutines, alternating libraries: every call must
+	// reproduce its library's CP exactly (bindings and states are
+	// per-call; the shared topology is immutable).
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				cp, err := bt.CP(ctx, aged)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if cp != ref {
+					t.Errorf("concurrent CP %v != %v", cp, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchTimerFootprintFallback(t *testing.T) {
+	fresh := lib(t, aging.Fresh())
+	nl := chain(2)
+	ctx := context.Background()
+	bt, err := NewBatchTimer(ctx, nl, fresh, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A library missing a cell the topology was compiled against cannot be
+	// fast-bound; the timer must fall back to a reference analysis and
+	// still fail cleanly (the cell is genuinely absent).
+	broken := &liberty.Library{
+		Name:     "broken",
+		Scenario: fresh.Scenario,
+		Vdd:      fresh.Vdd,
+		Slews:    fresh.Slews,
+		Loads:    fresh.Loads,
+		Cells:    map[string]*liberty.CellTiming{},
+	}
+	if _, err := bt.CP(ctx, broken); err == nil {
+		t.Error("empty library produced a CP")
+	}
+}

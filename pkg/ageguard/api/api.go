@@ -166,6 +166,61 @@ type PathsResponse struct {
 	Paths   []Path `json:"paths"`
 }
 
+// MCGuardbandRequest asks for the process-variation Monte Carlo
+// guardband distribution of a circuit under an aging scenario: the
+// server samples per-instance Vth0/mobility perturbations from seeded
+// deterministic streams, re-times the fresh and aged critical paths per
+// sample, and reduces the per-sample guardbands to quantiles and a
+// histogram. Equal requests — including the seed — always reproduce
+// bit-identical responses.
+//
+// Samples defaults to 256 (bounded server-side), Bins to 32. SigmaVthV
+// and SigmaMuRel are the per-instance variation magnitudes; when both
+// are zero the server substitutes its default process spread
+// (sigma(Vth0) = 15 mV, sigma(mu)/mu = 3%).
+type MCGuardbandRequest struct {
+	Version    string   `json:"version"`
+	Circuit    string   `json:"circuit"`
+	Scenario   Scenario `json:"scenario"`
+	Samples    int      `json:"samples,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+	SigmaVthV  float64  `json:"sigma_vth_v,omitempty"`
+	SigmaMuRel float64  `json:"sigma_mu_rel,omitempty"`
+	Bins       int      `json:"bins,omitempty"`
+}
+
+// MCHistogram is a fixed-width histogram of the per-sample guardbands
+// over [LoS, HiS] (the observed extremes).
+type MCHistogram struct {
+	LoS    float64 `json:"lo_s"`
+	HiS    float64 `json:"hi_s"`
+	Counts []int   `json:"counts"`
+}
+
+// MCGuardbandResponse reports the guardband distribution: the nominal
+// (zero-variation) fresh/aged critical paths, then mean, standard
+// deviation, interpolated quantiles and extremes of the per-sample
+// guardbands, plus the histogram. Per-sample arrays stay server-side.
+type MCGuardbandResponse struct {
+	Version    string      `json:"version"`
+	Circuit    string      `json:"circuit"`
+	Scenario   Scenario    `json:"scenario"`
+	Samples    int         `json:"samples"`
+	Seed       uint64      `json:"seed"`
+	SigmaVthV  float64     `json:"sigma_vth_v"`
+	SigmaMuRel float64     `json:"sigma_mu_rel"`
+	FreshCPs   float64     `json:"fresh_cp_s"`
+	AgedCPs    float64     `json:"aged_cp_s"`
+	MeanS      float64     `json:"mean_s"`
+	StdS       float64     `json:"std_s"`
+	P50S       float64     `json:"p50_s"`
+	P95S       float64     `json:"p95_s"`
+	P999S      float64     `json:"p999_s"`
+	MinS       float64     `json:"min_s"`
+	MaxS       float64     `json:"max_s"`
+	Hist       MCHistogram `json:"hist"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Version string `json:"version"`

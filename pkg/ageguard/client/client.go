@@ -222,6 +222,21 @@ func (c *Client) Paths(ctx context.Context, req api.PathsRequest) (*api.PathsRes
 	return &resp, nil
 }
 
+// MCGuardband queries the process-variation Monte Carlo guardband
+// distribution of a circuit. Like every /v1 endpoint it is an
+// idempotent read — the seeded sample streams make even recomputed
+// replies bit-identical — so retrying and hedging stay safe.
+func (c *Client) MCGuardband(ctx context.Context, req api.MCGuardbandRequest) (*api.MCGuardbandResponse, error) {
+	if req.Version == "" {
+		req.Version = api.APIVersion
+	}
+	var resp api.MCGuardbandResponse
+	if err := c.do(ctx, "/v1/mcguardband", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // probe issues a bare GET and maps non-200 to *APIError.
 func (c *Client) probe(ctx context.Context, path string) error {
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
